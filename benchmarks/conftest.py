@@ -1,0 +1,15 @@
+"""Shared fixtures for the table/figure regeneration harness.
+
+The collection pass (11 benchmarks × 4 runs) is cached per process via
+:func:`repro.bench.experiments.collect`, so the per-figure files share
+one measurement sweep.
+"""
+
+import pytest
+
+from repro.bench.experiments import collect_all
+
+
+@pytest.fixture(scope="session")
+def records():
+    return collect_all()

@@ -1,0 +1,172 @@
+"""Ablations of GCTD's design choices (DESIGN.md §5 commitments).
+
+Each ablation switches off one ingredient of the paper's algorithm and
+checks (a) outputs never change — all the machinery is a pure storage
+optimization — and (b) the measurable effect moves in the direction
+the paper's design rationale predicts.
+"""
+
+import pytest
+
+from repro.bench.suite import compile_benchmark
+from repro.compiler.pipeline import CompilerOptions
+from repro.core.gctd import GCTDOptions
+from repro.core.opsem import OpsemConfig
+from repro.runtime.builtins import RuntimeContext
+
+
+def options(**gctd_kwargs):
+    return CompilerOptions(gctd=GCTDOptions(**gctd_kwargs))
+
+
+def outputs_equal(name, opts):
+    base = compile_benchmark(name)
+    variant = compile_benchmark(name, options=opts)
+    a = base.run_mat2c(RuntimeContext(seed=2))
+    b = variant.run_mat2c(RuntimeContext(seed=2))
+    assert a.output == b.output, f"{name}: ablation changed output"
+    return base, variant, a, b
+
+
+class TestPhiCoalescingAblation:
+    """§2.2.1: φ coalescing makes inversion copies identities."""
+
+    @pytest.mark.parametrize("name", ["fiff", "crni", "capr", "edit"])
+    def test_disabling_never_helps(self, name):
+        base, variant, run_a, run_b = outputs_equal(
+            name, options(phi_coalescing=False)
+        )
+        assert (
+            variant.identity_copies_folded
+            <= base.identity_copies_folded
+        )
+        assert (
+            run_b.report.execution_seconds
+            >= run_a.report.execution_seconds * 0.999
+        )
+
+    def test_disabling_reintroduces_copies_on_crni(self):
+        # Phase 2 can often reconstruct the sharing within a color
+        # class (same static size and type ⇒ same group), but not for
+        # every φ web — crni demonstrably loses identity copies
+        base, variant, *_ = outputs_equal(
+            "crni", options(phi_coalescing=False)
+        )
+        assert (
+            variant.identity_copies_folded
+            < base.identity_copies_folded
+        )
+
+
+class TestOpsemTypeAblation:
+    """§2.3: inferred types resolve operator-semantics conflicts."""
+
+    def test_without_types_more_interference(self):
+        base = compile_benchmark("fiff")
+        conservative = compile_benchmark(
+            "fiff",
+            options=CompilerOptions(
+                gctd=GCTDOptions(
+                    opsem=OpsemConfig(use_type_info=False)
+                )
+            ),
+        )
+        assert (
+            conservative.gctd.interference_stats.opsem_edges
+            > base.gctd.interference_stats.opsem_edges
+        )
+
+    def test_without_types_less_coalescing(self):
+        base = compile_benchmark("nb3d")
+        conservative = compile_benchmark(
+            "nb3d",
+            options=CompilerOptions(
+                gctd=GCTDOptions(opsem=OpsemConfig(use_type_info=False))
+            ),
+        )
+        base_total = (
+            base.report.static_subsumed + base.report.dynamic_subsumed
+        )
+        cons_total = (
+            conservative.report.static_subsumed
+            + conservative.report.dynamic_subsumed
+        )
+        assert cons_total <= base_total
+
+
+class TestPhase2SymbolicAblation:
+    """Relation 1's second criterion: symbolic sizes chained via
+    availability.  Without it, no dynamically-allocated variable can be
+    subsumed (the paper's key novelty over Fabri)."""
+
+    @pytest.mark.parametrize("name", ["diff", "capr", "nb1d"])
+    def test_without_symbolic_criterion_no_dynamic_chains(self, name):
+        # φ-web sharing (Phase 1) survives; what must vanish is the
+        # ⪯-chaining of dynamically-allocated units
+        base, variant, *_ = outputs_equal(
+            name, options(phase2_symbolic=False)
+        )
+        assert base.report.dynamic_chain_subsumed > 0
+        assert variant.report.dynamic_chain_subsumed == 0
+
+    def test_without_symbolic_more_heap_groups(self):
+        base = compile_benchmark("nb1d")
+        variant = compile_benchmark(
+            "nb1d", options=options(phase2_symbolic=False)
+        )
+        from repro.core.allocation import StorageClass
+
+        def heap_count(result):
+            return sum(
+                1
+                for g in result.plan.groups
+                if g.storage is StorageClass.HEAP
+            )
+
+        assert heap_count(variant) >= heap_count(base)
+
+
+class TestCleanupAblations:
+    """The pre-GCTD copy-propagation+DCE pass replaces Chaitin-style
+    iterated coalescing (§2.2); constant folding feeds shape inference."""
+
+    def test_without_constfold_more_variables(self):
+        # range inference still proves `n = 13` exact, so shapes stay
+        # static (the analyses overlap by design) — but the IR carries
+        # many more constant-holding variables into GCTD
+        base = compile_benchmark("dich")
+        variant = compile_benchmark(
+            "dich",
+            options=CompilerOptions(enable_constfold=False),
+        )
+        run_a = base.run_mat2c(RuntimeContext(seed=2))
+        run_b = variant.run_mat2c(RuntimeContext(seed=2))
+        assert run_a.output == run_b.output
+        assert (
+            variant.report.original_variable_count
+            > base.report.original_variable_count
+        )
+
+    def test_without_cse_more_variables(self):
+        base = compile_benchmark("fdtd")
+        variant = compile_benchmark(
+            "fdtd", options=CompilerOptions(enable_cse=False)
+        )
+        run_a = base.run_mat2c(RuntimeContext(seed=2))
+        run_b = variant.run_mat2c(RuntimeContext(seed=2))
+        assert run_a.output == run_b.output
+        assert (
+            variant.report.original_variable_count
+            >= base.report.original_variable_count
+        )
+
+
+def test_ablation_sweep_benchmark(benchmark):
+    """Time a full ablation compile (φ coalescing off) on crni."""
+    benchmark.pedantic(
+        lambda: compile_benchmark(
+            "crni", options=options(phi_coalescing=False)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""Figure 2 — Average Stack and Stack+Heap Levels (+ kcore-min arrows).
+
+Validated shapes: mcc's stack segment stays flat at 16 KB for every
+benchmark; mat2c's stack peaks exactly on the fully-static benchmarks
+(clos, crni, fdtd, fiff); mat2c's average dynamic data beats mcc's on
+most benchmarks; and kcore-min (the §4.5.2.1 time-integrated metric)
+favours mat2c everywhere.
+"""
+
+import pytest
+
+from repro.bench.experiments import collect, fig2_rows, format_rows
+from repro.bench.suite import BENCHMARK_NAMES
+
+STACK_PEAKERS = ("clos", "crni", "fdtd", "fiff")
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig2_rows()
+
+
+def test_fig2_regeneration(rows, capsys):
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                "Figure 2: Average Stack and Stack+Heap Levels", rows
+            )
+        )
+
+
+def test_mcc_stack_flat_16kb(rows):
+    # "the mcc C codes for all benchmarks were found to have a stack
+    #  segment size that grows to 16KB and stays at that"
+    for row in rows:
+        assert row["mcc stack (KB)"] == 16.0
+
+
+def test_mat2c_stack_peaks_on_static_benchmarks(rows):
+    # "four prominent peaks … for the clos, crni, fdtd, and fiff
+    #  benchmarks … mat2c allocates all arrays in these on the stack"
+    by_name = {r["benchmark"]: r["mat2c stack (KB)"] for r in rows}
+    baseline = 16.0
+    for name in STACK_PEAKERS:
+        assert by_name[name] > baseline, f"{name} should peak"
+    for name in BENCHMARK_NAMES:
+        if name not in STACK_PEAKERS:
+            assert by_name[name] <= baseline + 8.0
+
+
+def test_dynamic_data_reductions_mostly_positive(rows):
+    # paper: reductions over 20% in 7 of 11, over 100% in over half of
+    # those; we require ≥7 above 20% and at least one above 100%
+    reductions = [r["dynamic reduction %"] for r in rows]
+    assert sum(1 for r in reductions if r > 20.0) >= 7
+    assert any(r > 100.0 for r in reductions)
+
+
+def test_kcore_min_favours_mat2c(rows):
+    # §4.5.2.1: even where averages are close, shorter execution makes
+    # mat2c the smaller memory consumer over time
+    for row in rows:
+        assert float(row["mat2c kcore-min"]) < float(row["mcc kcore-min"])
+
+
+def test_fig2_measurement_benchmark(benchmark):
+    """Time one metered mat2c execution (the Figure 2 probe) on clos."""
+    from repro.bench.suite import compile_benchmark
+    from repro.runtime.builtins import RuntimeContext
+
+    compilation = compile_benchmark("clos")
+    benchmark.pedantic(
+        lambda: compilation.run_mat2c(RuntimeContext(seed=1)),
+        rounds=3,
+        iterations=1,
+    )

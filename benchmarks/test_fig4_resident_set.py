@@ -1,0 +1,55 @@
+"""Figure 4 — Average Resident Set Levels.
+
+RSS counts only touched pages: the text actually executed, the stack
+pages reached, and the heap pages written.  mcc's library mapping is
+partially cold, so its RSS advantage over its own VM level is larger —
+but mat2c still wins on every benchmark, as in the paper.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig3_rows, fig4_rows, format_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig4_rows()
+
+
+def test_fig4_regeneration(rows, capsys):
+    with capsys.disabled():
+        print()
+        print(format_rows("Figure 4: Average Resident Set Levels", rows))
+
+
+def test_mat2c_resident_set_always_lower(rows):
+    for row in rows:
+        assert row["mat2c RSS (KB)"] < row["mcc RSS (KB)"]
+
+
+def test_rss_below_virtual_memory(rows):
+    vm = {r["benchmark"]: r for r in fig3_rows()}
+    for row in rows:
+        assert row["mcc RSS (KB)"] < vm[row["benchmark"]]["mcc VM (KB)"]
+        assert (
+            row["mat2c RSS (KB)"] <= vm[row["benchmark"]]["mat2c VM (KB)"]
+        )
+
+
+def test_savings_positive_everywhere(rows):
+    # the paper's Figure 4 labels: 5.5% (capr) up to 279.6% (dich)
+    for row in rows:
+        assert row["RSS saving %"] > 0.0
+
+
+def test_fig4_measurement_benchmark(benchmark):
+    from repro.memsim.heap import HeapModel
+
+    def touch_pages():
+        heap = HeapModel()
+        addrs = [heap.malloc(4096) for _ in range(64)]
+        for addr in addrs:
+            heap.free(addr)
+        return heap.resident_bytes
+
+    benchmark(touch_pages)

@@ -1,0 +1,34 @@
+"""Table 1 — Benchmark Suite Description.
+
+Regenerates the paper's Table 1 from the shipped M-files and checks
+its structural properties.  The pytest-benchmark target times the full
+compilation pipeline on a representative benchmark.
+"""
+
+from repro.bench.experiments import format_rows, table1_rows
+from repro.bench.suite import BENCHMARK_NAMES, SUITE, compile_benchmark
+
+
+def test_table1_regeneration(capsys):
+    rows = table1_rows()
+    assert len(rows) == 11
+    for row in rows:
+        assert row["m_files"] >= 2, "driver + main function, as the paper"
+        assert row["lines"] > 15
+    three_d = {r["benchmark"] for r in rows if r["3d"] == "yes"}
+    assert three_d == {"fdtd", "nb3d"}
+    with capsys.disabled():
+        print()
+        print(format_rows("Table 1: Benchmark Suite Description", rows))
+
+
+def test_origins_match_paper():
+    falcon = {n for n, i in SUITE.items() if i.origin == "FALCON"}
+    assert falcon == {"adpt", "crni", "dich", "fiff"}
+    otter = {n for n, i in SUITE.items() if i.origin == "OTTER"}
+    assert otter == {"clos", "nb1d"}
+
+
+def test_compilation_pipeline_benchmark(benchmark):
+    """Time the full pipeline (parse → … → GCTD) on crni."""
+    benchmark(compile_benchmark, "crni")

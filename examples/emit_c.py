@@ -1,0 +1,66 @@
+"""Domain example: generate the C translation of a MATLAB program.
+
+Emits the paper's Figure-1-style C (fixed stack buffers for static
+groups, resizable heap buffers for symbolic ones, scalar/array
+dispatch for elementwise operators), writes it next to this script,
+and — when a C compiler is on PATH — compiles and runs it, checking
+the output against the mat2c VM.
+
+Run:  python examples/emit_c.py
+"""
+
+from pathlib import Path
+
+from repro.backend.cc import compile_and_run, find_compiler
+from repro.compiler.pipeline import compile_source
+from repro.runtime.builtins import RuntimeContext
+
+SOURCE = """
+% Gaussian blur of a ramp, accumulated in place.
+n = 24;
+img = zeros(n, n);
+for i = 1:n
+  for j = 1:n
+    img(i, j) = i + 2 * j;
+  end
+end
+acc = zeros(n, n);
+for t = 1:4
+  acc = acc + img;
+end
+disp(sum(sum(acc)));
+disp(acc(3, 5));
+"""
+
+
+def main() -> None:
+    result = compile_source(SOURCE)
+    c_source = result.generate_c()
+
+    out_path = Path(__file__).parent / "emitted_program.c"
+    out_path.write_text(c_source)
+    print(f"wrote {out_path} ({len(c_source.splitlines())} lines of C)")
+
+    stack_buffers = [
+        line.strip()
+        for line in c_source.splitlines()
+        if "static double g" in line and "_buf[" in line
+    ]
+    print("\nstack group buffers (one per coalesced group):")
+    for line in stack_buffers:
+        print(f"  {line}")
+
+    vm = result.run_mat2c(RuntimeContext())
+    print(f"\nVM output:\n{vm.output}")
+
+    if find_compiler() is None:
+        print("no C compiler on PATH; skipping native run")
+        return
+    native = compile_and_run(c_source)
+    print(f"native output:\n{native.stdout}")
+    status = "MATCH" if native.stdout == vm.output else "MISMATCH"
+    print(f"native vs VM: {status}")
+
+
+if __name__ == "__main__":
+    main()

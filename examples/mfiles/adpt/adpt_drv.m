@@ -1,0 +1,8 @@
+function adpt_drv()
+% Driver for adpt: Adaptive Quadrature by Simpson's Rule (FALCON).
+% Integrates f over [a, b] to the FALCON suite's tolerance setting.
+tol = 0.000001;
+a = 0;
+b = 2;
+q = adpt(a, b, tol);
+fprintf('adpt: integral = %.6f\n', q);

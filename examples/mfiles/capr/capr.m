@@ -1,0 +1,18 @@
+function cap = capr(n)
+% Capacitance per unit length of a square coax: outer grounded shell,
+% inner conductor held at 1V.  Laplace's equation is relaxed by
+% Gauss-Seidel sweeps; the charge follows from a flux integral.
+v = mkgrid(n);
+tol = 0.0001;
+change = 1;
+sweeps = 0;
+while change > tol
+  [v, change] = seidel(v, n);
+  sweeps = sweeps + 1;
+  if sweeps > 18
+    break
+  end
+end
+q = flux(v, n);
+eps0 = 0.000000000008854;
+cap = q * eps0;

@@ -1,0 +1,7 @@
+function capr_drv()
+% Driver for capr: capacitance of a coaxial transmission line
+% (Chalmers University benchmark).  The grid resolution is chosen by a
+% convergence probe, so the solver sees symbolic array extents.
+n = pickgrid(9);
+cap = capr(n);
+fprintf('capr: capacitance = %.6f pF/m\n', cap * 1000000000000);

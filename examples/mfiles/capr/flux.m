@@ -1,0 +1,10 @@
+function q = flux(v, n)
+% Total flux of the potential gradient through a loop just inside the
+% outer shell (trapezoid rule along the four sides).
+q = 0;
+for k = 2:n - 1
+  q = q + abs(v(2, k) - v(1, k));
+  q = q + abs(v(n - 1, k) - v(n, k));
+  q = q + abs(v(k, 2) - v(k, 1));
+  q = q + abs(v(k, n - 1) - v(k, n));
+end

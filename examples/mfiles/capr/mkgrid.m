@@ -1,0 +1,10 @@
+function v = mkgrid(n)
+% Potential grid: outer boundary at 0V, inner conductor at 1V.
+v = zeros(n, n);
+a = floor(n / 3) + 1;
+b = n - floor(n / 3);
+for i = a:b
+  for j = a:b
+    v(i, j) = 1;
+  end
+end

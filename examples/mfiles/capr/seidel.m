@@ -1,0 +1,19 @@
+function [v, change] = seidel(v, n)
+% One whole-array Jacobi relaxation sweep (the Chalmers code is
+% vectorized MATLAB): average the four neighbours over the interior,
+% then re-impose the conductor plateau.
+a = floor(n / 3) + 1;
+b = n - floor(n / 3);
+up = v(1:n - 2, 2:n - 1);
+down = v(3:n, 2:n - 1);
+left = v(2:n - 1, 1:n - 2);
+right = v(2:n - 1, 3:n);
+fresh = 0.25 * (up + down + left + right);
+old = v;
+v(2:n - 1, 2:n - 1) = fresh;
+for i = a:b
+  for j = a:b
+    v(i, j) = 1;
+  end
+end
+change = max(max(abs(v - old)));

@@ -1,0 +1,15 @@
+function b = clos(a)
+% Transitive closure by repeated boolean matrix squaring: the classic
+% whole-array OTTER kernel.  Every shape here is statically known, so
+% GCTD stack-allocates and coalesces all the large temporaries.
+b = a;
+changed = 1;
+while changed > 0
+  c = b + b * b;
+  c = min(c, 1);
+  diff = sum(sum(abs(c - b)));
+  if diff == 0
+    changed = 0;
+  end
+  b = c;
+end

@@ -1,0 +1,10 @@
+function clos_drv()
+% Driver for clos: transitive closure of a directed graph (OTTER).
+n = 24;
+a = zeros(n, n);
+for k = 1:n
+  a(k, mod(k * 7, n) + 1) = 1;
+  a(k, mod(k * 3 + 5, n) + 1) = 1;
+end
+b = clos(a);
+fprintf('clos: reachable pairs = %d\n', sum(sum(b)));

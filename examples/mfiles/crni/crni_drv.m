@@ -1,0 +1,11 @@
+function crni_drv()
+% Driver for crni: Crank-Nicholson solution of the heat equation
+% (FALCON).  Grid extents are compile-time constants.
+nx = 19;
+nt = 24;
+u = crnich(1.0, 0.5, nx, nt);
+total = 0;
+for k = 1:nx
+  total = total + u(k, nt);
+end
+fprintf('crni: final column mass = %.6f\n', total);

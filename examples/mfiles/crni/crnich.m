@@ -1,0 +1,21 @@
+function u = crnich(len, tend, nx, nt)
+% Crank-Nicholson scheme: one tridiagonal solve per time step.
+h = len / (nx - 1);
+k = tend / (nt - 1);
+r = k / (h * h);
+u = zeros(nx, nt);
+for i = 2:nx - 1
+  x = h * (i - 1);
+  u(i, 1) = sin(pi * x) + sin(3 * pi * x);
+end
+d = zeros(1, nx);
+c = zeros(1, nx);
+for j = 2:nt
+  for i = 2:nx - 1
+    d(i) = r * u(i - 1, j - 1) + (2 - 2 * r) * u(i, j - 1) + r * u(i + 1, j - 1);
+  end
+  [c, d] = tridia(2 + 2 * r, -r, nx, c, d);
+  for i = 2:nx - 1
+    u(i, j) = d(i);
+  end
+end

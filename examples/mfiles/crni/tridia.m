@@ -1,0 +1,12 @@
+function [c, d] = tridia(diag, off, n, c, d)
+% Thomas algorithm for the constant-coefficient tridiagonal system.
+c(2) = off / diag;
+d(2) = d(2) / diag;
+for i = 3:n - 1
+  m = diag - off * c(i - 1);
+  c(i) = off / m;
+  d(i) = (d(i) - off * d(i - 1)) / m;
+end
+for i = n - 2:-1:2
+  d(i) = d(i) - c(i) * d(i + 1);
+end

@@ -1,0 +1,7 @@
+function dich_drv()
+% Driver for dich: Dirichlet solution to Laplace's equation (FALCON).
+n = 13;
+iters = 16;
+u = dirich(n, iters);
+mid = floor(n / 2) + 1;
+fprintf('dich: center potential = %.6f\n', u(mid, mid));

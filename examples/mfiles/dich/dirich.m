@@ -1,0 +1,24 @@
+function u = dirich(n, iters)
+% Jacobi relaxation with Dirichlet boundary values, element by element
+% — the access pattern that makes library-call compilation (mcc) pay a
+% run-time check per element while compiled C touches one double.
+u = zeros(n, n);
+for k = 1:n
+  u(1, k) = 100;
+  u(n, k) = 0;
+  u(k, 1) = 75;
+  u(k, n) = 50;
+end
+w = zeros(n, n);
+for it = 1:iters
+  for i = 2:n - 1
+    for j = 2:n - 1
+      w(i, j) = 0.25 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1));
+    end
+  end
+  for i = 2:n - 1
+    for j = 2:n - 1
+      u(i, j) = w(i, j);
+    end
+  end
+end

@@ -1,0 +1,9 @@
+function diff_drv()
+% Driver for diff: Young's two-slit diffraction experiment
+% (The MathWorks Central File Exchange).
+lambda = 0.0005;
+slitsep = 0.1;
+screen = 100;
+inten = young(lambda, slitsep, screen);
+fprintf('diff: peak intensity = %.4f\n', max(inten));
+fprintf('diff: mean intensity = %.4f\n', sum(inten) / numel(inten));

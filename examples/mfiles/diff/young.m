@@ -1,0 +1,20 @@
+function inten = young(lambda, slitsep, screen)
+% Interference of phasors from two slits evaluated across the screen.
+% The phasor arrays are COMPLEX; the elementwise chain of amplitude
+% computations coalesces into a single heap group under GCTD.  The
+% screen resolution is refined until the pattern is smooth enough, so
+% the sample arrays have symbolic extents (the paper's d = 1 profile).
+h = 0.064;
+smooth = 0;
+while smooth == 0
+  h = h / 2;
+  if 2 * pi * slitsep * h / (lambda * screen) < 0.26
+    smooth = 1;
+  end
+end
+x = -2:h:2;
+phase1 = 2 * pi * slitsep * x / (lambda * screen);
+phase2 = phase1 / 2;
+amp = exp(i * phase1) + exp(i * phase2);
+wave = amp .* exp(i * 2 * pi * x / lambda);
+inten = abs(wave) .^ 2;

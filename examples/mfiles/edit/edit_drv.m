@@ -1,0 +1,16 @@
+function edit_drv()
+% Driver for edit: Levenshtein edit distance (MathWorks Central File
+% Exchange).  The strings are built by data-dependent repetition, so
+% the DP table's extents are symbolic (heap-allocated under GCTD).
+s = 'intention';
+t = 'execution';
+a = s;
+b = t;
+k = 1;
+while k * length(s) < 28
+  a = [a, t];
+  b = [b, s];
+  k = k + 1;
+end
+d = editdist(a, b);
+fprintf('edit: distance = %d\n', d);

@@ -1,0 +1,31 @@
+function d = editdist(a, b)
+% Classic dynamic program over a (m+1)x(n+1) cost table.
+m = length(a);
+n = length(b);
+dp = zeros(m + 1, n + 1);
+for i = 1:m + 1
+  dp(i, 1) = i - 1;
+end
+for j = 1:n + 1
+  dp(1, j) = j - 1;
+end
+for i = 2:m + 1
+  for j = 2:n + 1
+    cost = 1;
+    if a(i - 1) == b(j - 1)
+      cost = 0;
+    end
+    del = dp(i - 1, j) + 1;
+    ins = dp(i, j - 1) + 1;
+    sub = dp(i - 1, j - 1) + cost;
+    best = del;
+    if ins < best
+      best = ins;
+    end
+    if sub < best
+      best = sub;
+    end
+    dp(i, j) = best;
+  end
+end
+d = dp(m + 1, n + 1);

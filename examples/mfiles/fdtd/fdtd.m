@@ -1,0 +1,24 @@
+function energy = fdtd(n, steps)
+% Yee-style staggered updates on six 3-D field arrays.  Every slice
+% temporary below has the same static shape, so GCTD folds the whole
+% update cascade into a handful of stack buffers.
+c = 0.45;
+ex = zeros(n, n, n);
+ey = zeros(n, n, n);
+ez = zeros(n, n, n);
+hx = zeros(n, n, n);
+hy = zeros(n, n, n);
+hz = zeros(n, n, n);
+m = n - 1;
+for t = 1:steps
+  ez(4, 4, 4) = sin(0.3 * t);
+  hx(1:m, 1:m, 1:m) = hx(1:m, 1:m, 1:m) - c * (ez(1:m, 2:n, 1:m) - ez(1:m, 1:m, 1:m)) + c * (ey(1:m, 1:m, 2:n) - ey(1:m, 1:m, 1:m));
+  hy(1:m, 1:m, 1:m) = hy(1:m, 1:m, 1:m) - c * (ex(1:m, 1:m, 2:n) - ex(1:m, 1:m, 1:m)) + c * (ez(2:n, 1:m, 1:m) - ez(1:m, 1:m, 1:m));
+  hz(1:m, 1:m, 1:m) = hz(1:m, 1:m, 1:m) - c * (ey(2:n, 1:m, 1:m) - ey(1:m, 1:m, 1:m)) + c * (ex(1:m, 2:n, 1:m) - ex(1:m, 1:m, 1:m));
+  ex(2:n, 2:n, 2:n) = ex(2:n, 2:n, 2:n) + c * (hz(2:n, 2:n, 2:n) - hz(2:n, 1:m, 2:n)) - c * (hy(2:n, 2:n, 2:n) - hy(2:n, 2:n, 1:m));
+  ey(2:n, 2:n, 2:n) = ey(2:n, 2:n, 2:n) + c * (hx(2:n, 2:n, 2:n) - hx(2:n, 2:n, 1:m)) - c * (hz(2:n, 2:n, 2:n) - hz(1:m, 2:n, 2:n));
+  ez(2:n, 2:n, 2:n) = ez(2:n, 2:n, 2:n) + c * (hy(2:n, 2:n, 2:n) - hy(1:m, 2:n, 2:n)) - c * (hx(2:n, 2:n, 2:n) - hx(2:n, 1:m, 2:n));
+end
+ee = ex .* ex + ey .* ey + ez .* ez;
+hh = hx .* hx + hy .* hy + hz .* hz;
+energy = sum(sum(sum(ee + hh)));

@@ -1,0 +1,8 @@
+function fdtd_drv()
+% Driver for fdtd: Finite Difference Time Domain electromagnetic
+% solver (Chalmers University benchmark).  Three-dimensional field
+% arrays with compile-time extents.
+n = 6;
+steps = 12;
+energy = fdtd(n, steps);
+fprintf('fdtd: field energy = %.6f\n', energy);

@@ -1,0 +1,24 @@
+function u = fiff(n, steps)
+% Leapfrog scheme for the 2-D wave equation, FALCON-style: the time
+% stepping runs element by element over large statically-shaped grids.
+% The u0/u1/unew rotation and the grids themselves are the "large
+% coalescent arrays" that give fiff the paper's biggest static storage
+% reduction — and without GCTD, the biggest slowdown.
+c = 0.25;
+x = 1:n;
+center = (n + 1) / 2;
+bump = exp(-0.01 * (x - center) .* (x - center));
+u1 = bump' * bump;
+u0 = u1;
+unew = zeros(n, n);
+for t = 1:steps
+  for i = 2:n - 1
+    for j = 2:n - 1
+      lap = u1(i - 1, j) + u1(i + 1, j) + u1(i, j - 1) + u1(i, j + 1) - 4 * u1(i, j);
+      unew(i, j) = 2 * u1(i, j) - u0(i, j) + c * lap;
+    end
+  end
+  u0 = u1;
+  u1 = unew;
+end
+u = u1;

@@ -1,0 +1,9 @@
+function fiff_drv()
+% Driver for fiff: finite-difference solution to the wave equation
+% (FALCON).  Large statically-shaped grids; the paper's version used
+% ~451x451 arrays — ours are scaled to 45x45 (shape, not size, is what
+% the reproduction validates).
+n = 45;
+steps = 3;
+u = fiff(n, steps);
+fprintf('fiff: energy = %.6f\n', sum(sum(u .* u)));

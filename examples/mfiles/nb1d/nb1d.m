@@ -1,0 +1,31 @@
+function [x, v] = nb1d(n, steps)
+% Leapfrog integration of n gravitating particles on a line.
+dt = 0.01;
+soft = 0.1;
+x = zeros(1, n);
+v = zeros(1, n);
+m = zeros(1, n);
+for k = 1:n
+  x(k) = k + 0.3 * sin(k);
+  v(k) = 0.1 * cos(k);
+  m(k) = 1 + 0.5 * sin(3 * k);
+end
+f = zeros(1, n);
+for t = 1:steps
+  for k = 1:n
+    f(k) = 0;
+  end
+  for k = 1:n
+    for l = 1:n
+      if l ~= k
+        dx = x(l) - x(k);
+        r2 = dx * dx + soft;
+        f(k) = f(k) + m(k) * m(l) * dx / (r2 * sqrt(r2));
+      end
+    end
+  end
+  for k = 1:n
+    v(k) = v(k) + dt * f(k) / m(k);
+    x(k) = x(k) + dt * v(k);
+  end
+end

@@ -1,0 +1,9 @@
+function nb1d_drv()
+% Driver for nb1d: one-dimensional gravitational N-body simulation
+% (OTTER).  The particle count is chosen by a data-dependent probe, so
+% the state vectors have symbolic extents.
+n = setsize(12);
+steps = 10;
+[x, v] = nb1d(n, steps);
+fprintf('nb1d: momentum = %.6f\n', sum(v));
+fprintf('nb1d: spread = %.6f\n', max(x) - min(x));

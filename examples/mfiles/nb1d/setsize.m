@@ -1,0 +1,12 @@
+function n = setsize(target)
+% Grows the particle count until a packing criterion is met; the
+% result is opaque to the compiler, keeping downstream shapes symbolic.
+n = 4;
+density = 1;
+while density > 0.05
+  n = n + 4;
+  density = 1 / n;
+  if n >= target
+    density = 0.01;
+  end
+end

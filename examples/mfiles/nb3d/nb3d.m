@@ -1,0 +1,41 @@
+function r = nb3d(n, steps)
+% 3-D leapfrog N-body, vectorized over interaction partners: positions
+% are (n x 3), and the trajectory is recorded in an (n x 3 x steps)
+% rank-3 history array.
+dt = 0.01;
+soft = 0.25;
+pos = zeros(n, 3);
+vel = zeros(n, 3);
+m = zeros(1, n);
+for k = 1:n
+  pos(k, 1) = cos(k);
+  pos(k, 2) = sin(k);
+  pos(k, 3) = 0.1 * k;
+  m(k) = 1 + 0.25 * cos(2 * k);
+end
+hist = zeros(n, 3, steps);
+acc = zeros(n, 3);
+for t = 1:steps
+  for k = 1:n
+    dx = pos(:, 1) - pos(k, 1);
+    dy = pos(:, 2) - pos(k, 2);
+    dz = pos(:, 3) - pos(k, 3);
+    r2 = dx .* dx + dy .* dy + dz .* dz + soft;
+    w = m' ./ (r2 .* sqrt(r2));
+    w(k) = 0;
+    acc(k, 1) = sum(w .* dx);
+    acc(k, 2) = sum(w .* dy);
+    acc(k, 3) = sum(w .* dz);
+  end
+  vel = vel + dt * acc;
+  pos = pos + dt * vel;
+  hist(:, :, t) = pos;
+end
+r = 0;
+for k = 1:n
+  rr = hist(k, 1, steps) * hist(k, 1, steps) + hist(k, 2, steps) * hist(k, 2, steps) + hist(k, 3, steps) * hist(k, 3, steps);
+  if rr > r
+    r = rr;
+  end
+end
+r = sqrt(r);

@@ -1,0 +1,7 @@
+function nb3d_drv()
+% Driver for nb3d: three-dimensional N-body simulation (modified from
+% nb1d; uses rank-3 history arrays).
+n = setsize3(8);
+steps = 8;
+r = nb3d(n, steps);
+fprintf('nb3d: final radius = %.6f\n', r);

@@ -1,0 +1,11 @@
+function n = setsize3(target)
+% Data-dependent particle count (symbolic to the compiler).
+n = 2;
+crowd = 1;
+while crowd > 0.1
+  n = n + 2;
+  crowd = 2 / n;
+  if n >= target
+    crowd = 0.05;
+  end
+end

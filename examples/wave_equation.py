@@ -1,0 +1,64 @@
+"""Domain example: the fiff wave-equation benchmark end to end.
+
+Compiles the FALCON-style finite-difference wave solver, compares the
+three execution models, and shows what disabling GCTD costs — a
+single-benchmark slice of the paper's Figures 2, 5 and 6.
+
+Run:  python examples/wave_equation.py
+"""
+
+from repro.bench.suite import compile_benchmark
+from repro.compiler.pipeline import CompilerOptions
+from repro.core.gctd import GCTDOptions
+from repro.runtime.builtins import RuntimeContext
+
+
+def main() -> None:
+    print("compiling fiff (finite-difference wave equation)…")
+    with_gctd = compile_benchmark("fiff")
+    without = compile_benchmark(
+        "fiff", options=CompilerOptions(gctd=GCTDOptions(enabled=False))
+    )
+
+    stats = with_gctd.report
+    print(
+        f"GCTD subsumed {stats.static_subsumed} static variables, "
+        f"saving {stats.storage_reduction_kb:.1f} KB of stack storage"
+    )
+
+    runs = {
+        "mat2c with GCTD": with_gctd.run_mat2c(RuntimeContext(seed=3)),
+        "mat2c without GCTD": without.run_mat2c(RuntimeContext(seed=3)),
+        "mcc model": with_gctd.run_mcc(RuntimeContext(seed=3)),
+    }
+    interp = with_gctd.run_interpreter(RuntimeContext(seed=3))
+
+    outputs = {r.output for r in runs.values()} | {interp.output}
+    assert len(outputs) == 1, "all models must agree"
+    print(f"\nprogram output: {interp.output.strip()}\n")
+
+    print(f"{'model':22s} {'time':>12s} {'avg dynamic':>12s}")
+    for name, run in runs.items():
+        report = run.report
+        print(
+            f"{name:22s} {report.execution_seconds * 1e3:9.3f} ms "
+            f"{report.avg_dynamic_kb:9.1f} KB"
+        )
+    print(
+        f"{'interpreter':22s} "
+        f"{interp.report.execution_seconds * 1e3:9.3f} ms"
+    )
+
+    base = runs["mat2c with GCTD"].report.execution_seconds
+    print(
+        f"\nspeedup over mcc      : "
+        f"{runs['mcc model'].report.execution_seconds / base:.1f}x"
+    )
+    print(
+        f"speedup from GCTD     : "
+        f"{runs['mat2c without GCTD'].report.execution_seconds / base:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

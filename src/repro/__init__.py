@@ -1,0 +1,37 @@
+"""repro — reproduction of *Static Array Storage Optimization in MATLAB*.
+
+Joisha & Banerjee, PLDI 2003.  The package implements a mat2c-style
+static MATLAB compiler whose centrepiece is the **GCTD** pass (Graph
+Coloring with Type-based Decomposition) for array storage coalescing,
+together with every substrate the paper's evaluation depends on: a
+MATLAB frontend, SSA-based middle end, MAGICA-style type/shape
+inference, a MATLAB runtime and interpreter, an mcc-model baseline
+executor, a page-granular memory simulator, and a C back end.
+
+Typical usage::
+
+    from repro import compile_source
+
+    result = compile_source("a = rand(100); b = a + 1.0; disp(sum(sum(b)));")
+    print(result.report.storage_reduction_bytes)
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy re-exports: keep `import repro` cheap and avoid import cycles.
+    if name in ("CompilationResult", "CompilerOptions", "compile_program",
+                "compile_source"):
+        from repro.compiler import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__all__ = [
+    "CompilationResult",
+    "CompilerOptions",
+    "compile_program",
+    "compile_source",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands:
+
+* ``compile FILES…``  — compile M-files, print GCTD statistics
+* ``run FILES…``      — compile and execute (mat2c/mcc/interp model)
+* ``emit-c FILES…``   — print the C translation
+* ``bench [NAMES…]``  — run the paper's experiment harness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.core.gctd import GCTDOptions
+from repro.runtime.builtins import RuntimeContext
+
+
+def _load(files: list[str]) -> dict[str, str]:
+    sources: dict[str, str] = {}
+    for filename in files:
+        path = Path(filename)
+        sources[path.name] = path.read_text()
+    return sources
+
+
+def _options(args) -> CompilerOptions:
+    return CompilerOptions(
+        gctd=GCTDOptions(enabled=not getattr(args, "no_gctd", False))
+    )
+
+
+def cmd_compile(args) -> int:
+    result = compile_program(_load(args.files), options=_options(args))
+    stats = result.report
+    print(f"entry function        : {result.program.entry}")
+    print(f"variables at GCTD     : {stats.original_variable_count}")
+    print(
+        f"subsumed (s/d)        : "
+        f"{stats.static_subsumed}/{stats.dynamic_subsumed}"
+    )
+    print(f"storage reduction     : {stats.storage_reduction_kb:.2f} KB")
+    print(f"colors / groups       : {stats.color_count} / {stats.group_count}")
+    print(f"stack frame           : {result.plan.stack_frame_bytes()} B")
+    if args.verbose:
+        print()
+        for group in result.plan.groups:
+            size = (
+                f"{group.static_size}B"
+                if group.static_size is not None
+                else "symbolic"
+            )
+            print(
+                f"group {group.gid:3d} [{group.storage.value}] "
+                f"{group.intrinsic.name:8s} {size:>10s} "
+                f"{group.members}"
+            )
+    if args.partial:
+        from repro.core.partial import find_partial_interference
+
+        report = find_partial_interference(
+            result.ssa_func, result.env, result.gctd.graph
+        )
+        print()
+        print(
+            f"partial-interference opportunities (§2.1): "
+            f"{len(report.pairs)} pairs, "
+            f"{report.total_potential_bytes} B foregone"
+        )
+        for pair in report.pairs[:10]:
+            print(
+                f"  {pair.array} could overlap {pair.other} "
+                f"({pair.potential_bytes} B)"
+            )
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = compile_program(_load(args.files), options=_options(args))
+    ctx = RuntimeContext(seed=args.seed)
+    if args.model == "mat2c":
+        run = result.run_mat2c(ctx)
+    elif args.model == "mcc":
+        run = result.run_mcc(ctx)
+    else:
+        run = result.run_interpreter(ctx)
+    sys.stdout.write(run.output)
+    if args.stats:
+        report = run.report
+        print(f"--- {args.model} model ---", file=sys.stderr)
+        print(
+            f"time      : {report.execution_seconds * 1e3:.3f} ms "
+            "(simulated, 440 MHz)",
+            file=sys.stderr,
+        )
+        print(
+            f"avg stack+heap : {report.avg_dynamic_kb:.1f} KB",
+            file=sys.stderr,
+        )
+        print(
+            f"avg VM / RSS   : {report.avg_virtual_kb:.1f} / "
+            f"{report.avg_resident_kb:.1f} KB",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_emit_c(args) -> int:
+    result = compile_program(_load(args.files), options=_options(args))
+    sys.stdout.write(result.generate_c())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.experiments import run_all_experiments
+
+    sys.stdout.write(run_all_experiments())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GCTD array-storage-coalescing MATLAB compiler "
+            "(PLDI 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile M-files and print GCTD statistics"
+    )
+    p_compile.add_argument("files", nargs="+")
+    p_compile.add_argument("--no-gctd", action="store_true")
+    p_compile.add_argument("-v", "--verbose", action="store_true")
+    p_compile.add_argument(
+        "--partial",
+        action="store_true",
+        help="report §2.1 partial-interference opportunities",
+    )
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    p_run.add_argument("files", nargs="+")
+    p_run.add_argument(
+        "--model",
+        choices=("mat2c", "mcc", "interp"),
+        default="mat2c",
+    )
+    p_run.add_argument("--seed", type=int, default=20030609)
+    p_run.add_argument("--stats", action="store_true")
+    p_run.add_argument("--no-gctd", action="store_true")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_emit = sub.add_parser("emit-c", help="print the C translation")
+    p_emit.add_argument("files", nargs="+")
+    p_emit.add_argument("--no-gctd", action="store_true")
+    p_emit.set_defaults(fn=cmd_emit_c)
+
+    p_bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables and figures"
+    )
+    p_bench.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

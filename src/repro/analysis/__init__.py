@@ -1,0 +1,32 @@
+"""Dataflow analyses and cleanup passes over the SO-form IR."""
+
+from repro.analysis.availability import AvailabilityInfo, compute_availability
+from repro.analysis.constfold import fold_constants
+from repro.analysis.copyprop import propagate_copies
+from repro.analysis.cse import eliminate_common_subexpressions
+from repro.analysis.dce import eliminate_dead_code
+from repro.analysis.duchains import (
+    BRANCH_USE,
+    DefUseChains,
+    UseSite,
+    compute_du_chains,
+)
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.pass_manager import PassStatistics, run_cleanup_pipeline
+
+__all__ = [
+    "AvailabilityInfo",
+    "compute_availability",
+    "fold_constants",
+    "propagate_copies",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "BRANCH_USE",
+    "DefUseChains",
+    "UseSite",
+    "compute_du_chains",
+    "LivenessInfo",
+    "compute_liveness",
+    "PassStatistics",
+    "run_cleanup_pipeline",
+]

@@ -1,0 +1,150 @@
+"""Constant folding and propagation on SSA IR.
+
+Scalar constants are folded through arithmetic, comparisons, and the
+pure math builtins; folded definitions become ``const`` instructions
+whose values then propagate into later operand positions.  This pass is
+load-bearing for the reproduction: shape inference can only classify
+``zeros(n, n)`` as *statically estimable* (⇒ stack allocation, Table 2's
+``s`` column) when ``n`` has been folded to a literal by this pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Const, Instr, Operand, Var
+
+_BINARY_FOLDERS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "elmul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "eldiv": lambda a, b: a / b,
+    "ldiv": lambda a, b: b / a,
+    "elldiv": lambda a, b: b / a,
+    "pow": lambda a, b: a**b,
+    "elpow": lambda a, b: a**b,
+    "lt": lambda a, b: complex(float(a.real < b.real)),
+    "le": lambda a, b: complex(float(a.real <= b.real)),
+    "gt": lambda a, b: complex(float(a.real > b.real)),
+    "ge": lambda a, b: complex(float(a.real >= b.real)),
+    "eq": lambda a, b: complex(float(a == b)),
+    "ne": lambda a, b: complex(float(a != b)),
+    "and": lambda a, b: complex(float(bool(a) and bool(b))),
+    "or": lambda a, b: complex(float(bool(a) or bool(b))),
+}
+
+_UNARY_FOLDERS = {
+    "neg": lambda a: -a,
+    "not": lambda a: complex(float(not bool(a))),
+    "transpose": lambda a: a,  # scalar transpose is the identity
+    "ctranspose": lambda a: a.conjugate(),
+}
+
+
+def _real_only(fn):
+    def wrapped(value: complex) -> complex:
+        if value.imag != 0:
+            raise ValueError("complex")
+        return complex(fn(value.real))
+
+    return wrapped
+
+
+_CALL_FOLDERS = {
+    "call:floor": _real_only(math.floor),
+    "call:ceil": _real_only(math.ceil),
+    "call:round": _real_only(round),
+    "call:fix": _real_only(math.trunc),
+    "call:abs": lambda v: complex(abs(v)),
+    "call:sqrt": lambda v: _safe_sqrt(v),
+    "call:exp": lambda v: _cwrap(math.exp, v),
+    "call:log": lambda v: _cwrap(math.log, v),
+    "call:sin": lambda v: _cwrap(math.sin, v),
+    "call:cos": lambda v: _cwrap(math.cos, v),
+    "call:tan": lambda v: _cwrap(math.tan, v),
+    "call:sign": _real_only(lambda r: (r > 0) - (r < 0)),
+    "call:numel": None,  # shape-dependent; left to inference
+}
+
+
+def _cwrap(fn, value: complex) -> complex:
+    if value.imag != 0:
+        raise ValueError("complex")
+    return complex(fn(value.real))
+
+
+def _safe_sqrt(value: complex) -> complex:
+    if value.imag == 0 and value.real >= 0:
+        return complex(math.sqrt(value.real))
+    import cmath
+
+    return cmath.sqrt(value)
+
+
+def fold_constants(func: IRFunction) -> int:
+    """Fold and propagate scalar constants to a fixed point (one call).
+
+    Returns the number of instructions rewritten to ``const``.
+    """
+    constants: dict[str, complex] = {}
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                # Propagate known constants into operands.
+                new_args: list[Operand] = []
+                for arg in instr.args:
+                    if isinstance(arg, Var) and arg.name in constants:
+                        new_args.append(Const(constants[arg.name]))
+                    else:
+                        new_args.append(arg)
+                instr.args = new_args
+
+                if instr.op == "const" and len(instr.results) == 1:
+                    arg = instr.args[0]
+                    if isinstance(arg, Const):
+                        if instr.results[0] not in constants:
+                            constants[instr.results[0]] = arg.value
+                            changed = True
+                    continue
+                if instr.op == "copy" and isinstance(instr.args[0], Const):
+                    value = instr.args[0].value
+                    instr.op = "const"
+                    if instr.results[0] not in constants:
+                        constants[instr.results[0]] = value
+                        changed = True
+                    folded += 1
+                    continue
+                value = _try_fold(instr)
+                if value is not None:
+                    instr.op = "const"
+                    instr.args = [Const(value)]
+                    if instr.results[0] not in constants:
+                        constants[instr.results[0]] = value
+                        changed = True
+                    folded += 1
+    return folded
+
+
+def _try_fold(instr: Instr) -> complex | None:
+    if len(instr.results) != 1 or instr.is_phi:
+        return None
+    if not all(isinstance(a, Const) for a in instr.args):
+        return None
+    values = [a.value for a in instr.args]  # type: ignore[union-attr]
+    try:
+        if instr.op in _BINARY_FOLDERS and len(values) == 2:
+            return _BINARY_FOLDERS[instr.op](*values)
+        if instr.op in _UNARY_FOLDERS and len(values) == 1:
+            return _UNARY_FOLDERS[instr.op](values[0])
+        folder = _CALL_FOLDERS.get(instr.op)
+        if folder is not None and len(values) == 1:
+            return folder(values[0])
+    except (ValueError, ZeroDivisionError, OverflowError):
+        return None
+    return None

@@ -1,0 +1,60 @@
+"""Copy propagation on SSA IR (paper §2.2).
+
+The paper replaces Chaitin-style iterated coalescing with a simple
+pre-pass: propagate copies, then let dead-code elimination delete the
+now-unused copy definitions.  On SSA this is unconditionally sound —
+``x = copy y`` means x and y denote the same value everywhere x is in
+scope — so every use of x can be rewritten to y.  (The cases the paper
+notes cannot be eliminated, such as copies feeding φs that interfere,
+re-appear as φ operands and are handled by Phase 1's φ coalescing.)
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Branch, Var
+
+
+def propagate_copies(func: IRFunction) -> int:
+    """Rewrite uses of SSA copy targets to their sources.
+
+    Returns the number of rewritten uses.  Copy chains (a = b; c = a)
+    are followed to the representative source with path compression.
+    """
+    source: dict[str, str] = {}
+    for instr in func.instructions():
+        if (
+            instr.op == "copy"
+            and len(instr.args) == 1
+            and isinstance(instr.args[0], Var)
+        ):
+            source[instr.results[0]] = instr.args[0].name
+
+    def resolve(name: str) -> str:
+        seen = [name]
+        while name in source and source[name] != name:
+            name = source[name]
+            seen.append(name)
+        for n in seen[:-1]:
+            source[n] = name  # compress (never map the root to itself)
+        return name
+
+    rewritten = 0
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            new_args = []
+            for arg in instr.args:
+                if isinstance(arg, Var) and arg.name in source:
+                    root = resolve(arg.name)
+                    if root != arg.name:
+                        arg = Var(root)
+                        rewritten += 1
+                new_args.append(arg)
+            instr.args = new_args
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.condition, Var):
+            root = resolve(term.condition.name)
+            if root != term.condition.name:
+                term.condition = Var(root)
+                rewritten += 1
+    return rewritten

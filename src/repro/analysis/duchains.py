@@ -1,0 +1,67 @@
+"""Def-use chains over SSA IR.
+
+On SSA every name has exactly one definition, so the chain structure is
+a map from name to its definition site and the list of its use sites.
+Sites are (block id, instruction index); φ-uses record the predecessor
+block the value flows from, and branch-condition uses use index -1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Branch, Instr, Var
+
+BRANCH_USE = -1  # instruction index marking a use in a block terminator
+
+
+@dataclass(slots=True)
+class UseSite:
+    block: int
+    index: int  # position in block.instrs, or BRANCH_USE
+    phi_pred: int | None = None  # for φ-uses: incoming edge's source
+
+
+@dataclass(slots=True)
+class DefUseChains:
+    definition: dict[str, tuple[int, int]] = field(default_factory=dict)
+    uses: dict[str, list[UseSite]] = field(default_factory=dict)
+
+    def use_count(self, name: str) -> int:
+        return len(self.uses.get(name, ()))
+
+    def is_dead(self, name: str) -> bool:
+        return self.use_count(name) == 0
+
+
+def compute_du_chains(func: IRFunction) -> DefUseChains:
+    chains = DefUseChains()
+    for param in func.params:
+        chains.definition[param] = (func.entry, -1)
+        chains.uses.setdefault(param, [])
+    for bid in func.block_order():
+        block = func.blocks[bid]
+        for idx, instr in enumerate(block.instrs):
+            for res in instr.results:
+                chains.definition[res] = (bid, idx)
+                chains.uses.setdefault(res, [])
+            if instr.is_phi:
+                assert instr.phi_blocks is not None
+                for arg, pred in zip(instr.args, instr.phi_blocks):
+                    if isinstance(arg, Var):
+                        chains.uses.setdefault(arg.name, []).append(
+                            UseSite(bid, idx, phi_pred=pred)
+                        )
+            else:
+                for arg in instr.args:
+                    if isinstance(arg, Var):
+                        chains.uses.setdefault(arg.name, []).append(
+                            UseSite(bid, idx)
+                        )
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.condition, Var):
+            chains.uses.setdefault(term.condition.name, []).append(
+                UseSite(bid, BRANCH_USE)
+            )
+    return chains

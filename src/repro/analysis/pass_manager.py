@@ -1,0 +1,65 @@
+"""The middle-end pass pipeline.
+
+Runs the cleanup passes in the order the paper's translator does:
+copy propagation, then dead-code elimination (together these take the
+place of Chaitin's iterated coalescing for source-level copies, §2.2),
+plus constant folding/propagation and global CSE — iterated to a fixed
+point since each enables the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.constfold import fold_constants
+from repro.analysis.copyprop import propagate_copies
+from repro.analysis.cse import eliminate_common_subexpressions
+from repro.analysis.dce import eliminate_dead_code
+from repro.ir.cfg import IRFunction
+
+_MAX_ITERATIONS = 25
+
+
+@dataclass(slots=True)
+class PassStatistics:
+    copies_propagated: int = 0
+    instructions_removed: int = 0
+    constants_folded: int = 0
+    subexpressions_eliminated: int = 0
+    iterations: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+def run_cleanup_pipeline(
+    func: IRFunction,
+    enable_cse: bool = True,
+    enable_constfold: bool = True,
+) -> PassStatistics:
+    """Iterate copyprop → constfold → CSE → DCE until quiescent."""
+    stats = PassStatistics()
+    for _ in range(_MAX_ITERATIONS):
+        stats.iterations += 1
+        changed = 0
+
+        n = propagate_copies(func)
+        stats.copies_propagated += n
+        changed += n
+
+        if enable_constfold:
+            n = fold_constants(func)
+            stats.constants_folded += n
+            changed += n
+
+        if enable_cse:
+            n = eliminate_common_subexpressions(func)
+            stats.subexpressions_eliminated += n
+            changed += n
+
+        n = eliminate_dead_code(func)
+        stats.instructions_removed += n
+        changed += n
+
+        stats.log.append(f"iteration {stats.iterations}: {changed} changes")
+        if changed == 0:
+            break
+    return stats

@@ -1,0 +1,18 @@
+"""C back end: code generation and the host-compiler harness."""
+
+from repro.backend.cc import (
+    CCompilerUnavailable,
+    CRunResult,
+    compile_and_run,
+    find_compiler,
+)
+from repro.backend.cgen import CodegenError, generate_c
+
+__all__ = [
+    "CCompilerUnavailable",
+    "CRunResult",
+    "compile_and_run",
+    "find_compiler",
+    "CodegenError",
+    "generate_c",
+]

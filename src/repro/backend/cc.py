@@ -1,0 +1,68 @@
+"""Compile-and-run harness for generated C (integration testing).
+
+The paper compiled mat2c output with Sun Workshop cc ``-xO4``; we use
+whatever host C compiler is available at ``-O2``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from shutil import which
+
+
+class CCompilerUnavailable(RuntimeError):
+    pass
+
+
+@dataclass(slots=True)
+class CRunResult:
+    stdout: str
+    stderr: str
+    returncode: int
+    c_source: str
+
+
+def find_compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        if which(candidate):
+            return candidate
+    return None
+
+
+def compile_and_run(
+    c_source: str, timeout_seconds: float = 30.0
+) -> CRunResult:
+    """Compile the C translation with the host compiler and run it."""
+    compiler = find_compiler()
+    if compiler is None:
+        raise CCompilerUnavailable("no C compiler on PATH")
+    with tempfile.TemporaryDirectory(prefix="mat2c_") as tmp:
+        src = Path(tmp) / "program.c"
+        exe = Path(tmp) / "program"
+        src.write_text(c_source)
+        build = subprocess.run(
+            [compiler, "-O2", "-o", str(exe), str(src), "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=timeout_seconds,
+        )
+        if build.returncode != 0:
+            raise RuntimeError(
+                f"C compilation failed:\n{build.stderr}\n--- source ---\n"
+                + c_source
+            )
+        run = subprocess.run(
+            [str(exe)],
+            capture_output=True,
+            text=True,
+            timeout=timeout_seconds,
+        )
+        return CRunResult(
+            stdout=run.stdout,
+            stderr=run.stderr,
+            returncode=run.returncode,
+            c_source=c_source,
+        )

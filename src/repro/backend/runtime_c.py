@@ -1,0 +1,136 @@
+"""The C runtime preamble emitted at the top of every translation.
+
+Small, self-contained helpers: resizing, printing (format-compatible
+with the Python runtime so differential tests can compare stdout
+byte-for-byte), a few math builtins, and a portable LCG for ``rand``.
+"""
+
+RUNTIME_PREAMBLE = r"""
+/* --- mat2c runtime (reproduction) ----------------------------------- */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+#include <complex.h>
+
+static double *rt_resize(double *buf, long *cap, long need) {
+    if (need > *cap) {
+        buf = (double *)realloc(buf, (size_t)need * sizeof(double));
+        if (!buf) { fprintf(stderr, "out of memory\n"); exit(1); }
+        *cap = need;
+    }
+    return buf;
+}
+
+static double complex *rt_resize_z(double complex *buf, long *cap,
+                                   long need) {
+    if (need > *cap) {
+        buf = (double complex *)realloc(
+            buf, (size_t)need * sizeof(double complex));
+        if (!buf) { fprintf(stderr, "out of memory\n"); exit(1); }
+        *cap = need;
+    }
+    return buf;
+}
+
+static void rt_print_matrix_z(const double complex *buf, long r, long c) {
+    long i, j;
+    if (r == 1 && c == 1) {  /* scalar format matches the VM's */
+        printf("%.4f + %.4fi\n", creal(buf[0]), cimag(buf[0]));
+        return;
+    }
+    for (i = 0; i < r; i++) {
+        for (j = 0; j < c; j++) {
+            double complex v = buf[j * r + i];
+            if (j) printf("  ");
+            printf("%.4f+%.4fi", creal(v), cimag(v));
+        }
+        printf("\n");
+    }
+}
+
+/* deterministic LCG; NOT numpy-compatible (tests avoid rand) */
+static unsigned long long rt_seed = 88172645463325252ULL;
+static double rt_rand1(void) {
+    rt_seed ^= rt_seed << 13;
+    rt_seed ^= rt_seed >> 7;
+    rt_seed ^= rt_seed << 17;
+    return (double)(rt_seed >> 11) / 9007199254740992.0;
+}
+
+static void rt_print_scalar(double v) {
+    if (v == floor(v) && fabs(v) < 1e15) printf("%ld\n", (long)v);
+    else printf("%.4f\n", v);
+}
+
+static void rt_print_matrix(const double *buf, long r, long c) {
+    long i, j;
+    if (r == 1 && c == 1) { rt_print_scalar(buf[0]); return; }
+    for (i = 0; i < r; i++) {
+        for (j = 0; j < c; j++) {
+            double v = buf[j * r + i];
+            if (j) printf("  ");
+            if (v == floor(v) && fabs(v) < 1e15) printf("%ld", (long)v);
+            else printf("%.4f", v);
+        }
+        printf("\n");
+    }
+}
+
+static double rt_scalar(const double *buf, long r, long c) {
+    if (r != 1 || c != 1) {
+        fprintf(stderr, "runtime error: expected a scalar, got %ldx%ld\n",
+                r, c);
+        exit(3);
+    }
+    return buf[0];
+}
+
+static long rt_idx(double v, long extent) {
+    long k = (long)v;
+    if (k < 1 || k > extent) {
+        fprintf(stderr, "runtime error: index %ld out of range 1..%ld\n",
+                k, extent);
+        exit(4);
+    }
+    return k - 1;
+}
+
+static int rt_istrue(const double *buf, long r, long c) {
+    long i, n = r * c;
+    if (n == 0) return 0;
+    for (i = 0; i < n; i++) if (buf[i] == 0.0) return 0;
+    return 1;
+}
+
+static double rt_sum(const double *buf, long n) {
+    double s = 0.0; long i;
+    for (i = 0; i < n; i++) s += buf[i];
+    return s;
+}
+
+static double rt_prod(const double *buf, long n) {
+    double s = 1.0; long i;
+    for (i = 0; i < n; i++) s *= buf[i];
+    return s;
+}
+
+static double rt_min(const double *buf, long n) {
+    double s = buf[0]; long i;
+    for (i = 1; i < n; i++) if (buf[i] < s) s = buf[i];
+    return s;
+}
+
+static double rt_max(const double *buf, long n) {
+    double s = buf[0]; long i;
+    for (i = 1; i < n; i++) if (buf[i] > s) s = buf[i];
+    return s;
+}
+
+static double rt_norm(const double *buf, long n) {
+    double s = 0.0; long i;
+    for (i = 0; i < n; i++) s += buf[i] * buf[i];
+    return sqrt(s);
+}
+/* --------------------------------------------------------------------- */
+"""

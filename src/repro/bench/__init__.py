@@ -1,0 +1,25 @@
+"""Benchmark suite loading and execution (paper Tables 1–2, Figs 2–6)."""
+
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    BenchmarkInfo,
+    BenchmarkRun,
+    MFILES_ROOT,
+    SUITE,
+    compile_benchmark,
+    count_lines,
+    load_sources,
+    run_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkInfo",
+    "BenchmarkRun",
+    "MFILES_ROOT",
+    "SUITE",
+    "compile_benchmark",
+    "count_lines",
+    "load_sources",
+    "run_benchmark",
+]

@@ -1,0 +1,311 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One :func:`collect` pass per benchmark produces everything the paper
+reports; the ``table*_rows``/``fig*_rows`` functions then slice it into
+the exact rows/series of Tables 1–2 and Figures 2–6.  ``format_rows``
+renders the same ASCII layout the harness prints.
+
+Results are cached per process (the full suite takes tens of seconds),
+so the per-figure benchmark files can share one collection pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    SUITE,
+    compile_benchmark,
+    count_lines,
+    load_sources,
+)
+from repro.compiler.pipeline import CompilerOptions
+from repro.core.gctd import GCTDOptions
+from repro.runtime.builtins import RuntimeContext
+
+_SEED = 20030609
+
+
+@dataclass(slots=True)
+class BenchRecord:
+    """Everything measured for one benchmark."""
+
+    name: str
+    compilation: object
+    mat2c: object            # ExecutionResult (GCTD on)
+    mcc: object              # ExecutionResult (mcc model)
+    interp: object           # InterpResult
+    mat2c_nogctd: object     # ExecutionResult (GCTD off)
+
+    @property
+    def speedup_vs_mcc(self) -> float:
+        return (
+            self.mcc.report.execution_seconds
+            / self.mat2c.report.execution_seconds
+        )
+
+    @property
+    def gctd_speedup(self) -> float:
+        return (
+            self.mat2c_nogctd.report.execution_seconds
+            / self.mat2c.report.execution_seconds
+        )
+
+
+@lru_cache(maxsize=None)
+def collect(name: str) -> BenchRecord:
+    compilation = compile_benchmark(name)
+    mat2c = compilation.run_mat2c(RuntimeContext(seed=_SEED))
+    mcc = compilation.run_mcc(RuntimeContext(seed=_SEED))
+    interp = compilation.run_interpreter(RuntimeContext(seed=_SEED))
+    off = compile_benchmark(
+        name,
+        options=CompilerOptions(gctd=GCTDOptions(enabled=False)),
+    )
+    mat2c_off = off.run_mat2c(RuntimeContext(seed=_SEED))
+    if mat2c.output != mcc.output or mat2c.output != interp.output:
+        raise AssertionError(f"{name}: execution models disagree")
+    if mat2c.output != mat2c_off.output:
+        raise AssertionError(f"{name}: GCTD changed program output")
+    return BenchRecord(
+        name=name,
+        compilation=compilation,
+        mat2c=mat2c,
+        mcc=mcc,
+        interp=interp,
+        mat2c_nogctd=mat2c_off,
+    )
+
+
+def collect_all() -> dict[str, BenchRecord]:
+    return {name: collect(name) for name in BENCHMARK_NAMES}
+
+
+# --------------------------------------------------------------------------
+# Table 1 — benchmark suite description
+# --------------------------------------------------------------------------
+
+
+def table1_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        info = SUITE[name]
+        sources = load_sources(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "synopsis": info.synopsis,
+                "origin": info.origin,
+                "m_files": len(sources),
+                "lines": count_lines(sources),
+                "3d": "yes" if info.three_dimensional else "",
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 2 — array storage coalescing reductions
+# --------------------------------------------------------------------------
+
+
+def table2_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        stats = collect(name).compilation.report
+        paper_s, paper_d = SUITE[name].paper_reduction
+        rows.append(
+            {
+                "benchmark": name,
+                "static/dynamic reduction": (
+                    f"{stats.static_subsumed}/{stats.dynamic_subsumed}"
+                ),
+                "original variable count": stats.original_variable_count,
+                "storage reduction (KB)": round(
+                    stats.storage_reduction_kb, 2
+                ),
+                "paper s/d": f"{paper_s}/{paper_d}",
+                "paper KB": SUITE[name].paper_storage_kb,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 2 — average stack and stack+heap levels (+ kcore-min)
+# --------------------------------------------------------------------------
+
+
+def fig2_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        record = collect(name)
+        m, c = record.mat2c.report, record.mcc.report
+        reduction = (
+            (c.avg_dynamic_kb - m.avg_dynamic_kb) / m.avg_dynamic_kb * 100
+            if m.avg_dynamic_kb > 0
+            else 0.0
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "mat2c stack (KB)": round(m.avg_stack_kb, 1),
+                "mcc stack (KB)": round(c.avg_stack_kb, 1),
+                "mat2c stack+heap (KB)": round(m.avg_dynamic_kb, 1),
+                "mcc stack+heap (KB)": round(c.avg_dynamic_kb, 1),
+                "dynamic reduction %": round(reduction, 1),
+                "mat2c kcore-min": f"{m.kcore_min:.3g}",
+                "mcc kcore-min": f"{c.kcore_min:.3g}",
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 3 — average virtual-memory levels
+# --------------------------------------------------------------------------
+
+
+def fig3_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        record = collect(name)
+        m, c = record.mat2c.report, record.mcc.report
+        saving = (
+            (c.avg_virtual_kb - m.avg_virtual_kb) / m.avg_virtual_kb * 100
+            if m.avg_virtual_kb
+            else 0.0
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "mat2c VM (KB)": round(m.avg_virtual_kb, 1),
+                "mcc VM (KB)": round(c.avg_virtual_kb, 1),
+                "VM saving %": round(saving, 1),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 4 — average resident-set sizes
+# --------------------------------------------------------------------------
+
+
+def fig4_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        record = collect(name)
+        m, c = record.mat2c.report, record.mcc.report
+        saving = (
+            (c.avg_resident_kb - m.avg_resident_kb)
+            / m.avg_resident_kb
+            * 100
+            if m.avg_resident_kb
+            else 0.0
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "mat2c RSS (KB)": round(m.avg_resident_kb, 1),
+                "mcc RSS (KB)": round(c.avg_resident_kb, 1),
+                "RSS saving %": round(saving, 1),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 5 — comparative execution times (mcc / mat2c / interpreter)
+# --------------------------------------------------------------------------
+
+
+def fig5_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        record = collect(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "mat2c (s)": f"{record.mat2c.report.execution_seconds:.4g}",
+                "mcc (s)": f"{record.mcc.report.execution_seconds:.4g}",
+                "intrp (s)": f"{record.interp.report.execution_seconds:.4g}",
+                "speedup over mcc": round(record.speedup_vs_mcc, 1),
+                "paper speedup": SUITE[name].paper_speedup,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 6 — effect of the GCTD pass on execution times
+# --------------------------------------------------------------------------
+
+
+def fig6_rows() -> list[dict]:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        record = collect(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "with GCTD (s)": (
+                    f"{record.mat2c.report.execution_seconds:.4g}"
+                ),
+                "without GCTD (s)": (
+                    f"{record.mat2c_nogctd.report.execution_seconds:.4g}"
+                ),
+                "relative speedup": round(record.gctd_speedup, 2),
+                "dynamic KB with": round(
+                    record.mat2c.report.avg_dynamic_kb, 1
+                ),
+                "dynamic KB without": round(
+                    record.mat2c_nogctd.report.avg_dynamic_kb, 1
+                ),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Rendering
+# --------------------------------------------------------------------------
+
+
+def format_rows(title: str, rows: list[dict]) -> str:
+    if not rows:
+        return f"{title}\n(no data)\n"
+    headers = list(rows[0])
+    widths = {
+        h: max(len(str(h)), *(len(str(r[h])) for r in rows))
+        for h in headers
+    }
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[h]).ljust(widths[h]) for h in headers)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_all_experiments() -> str:
+    """Regenerate every table and figure; returns the full report."""
+    sections = [
+        format_rows("Table 1: Benchmark Suite Description", table1_rows()),
+        format_rows(
+            "Table 2: Array Storage Coalescing Reductions", table2_rows()
+        ),
+        format_rows(
+            "Figure 2: Average Stack and Stack+Heap Levels", fig2_rows()
+        ),
+        format_rows("Figure 3: Average Virtual Memory Levels", fig3_rows()),
+        format_rows("Figure 4: Average Resident Set Levels", fig4_rows()),
+        format_rows("Figure 5: Comparative Execution Times", fig5_rows()),
+        format_rows(
+            "Figure 6: Effect of Coalescing on Execution Times", fig6_rows()
+        ),
+    ]
+    return "\n".join(sections)

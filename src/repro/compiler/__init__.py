@@ -1,0 +1,15 @@
+"""The mat2c-style compiler driver."""
+
+from repro.compiler.pipeline import (
+    CompilationResult,
+    CompilerOptions,
+    compile_program,
+    compile_source,
+)
+
+__all__ = [
+    "CompilationResult",
+    "CompilerOptions",
+    "compile_program",
+    "compile_source",
+]

@@ -1,0 +1,182 @@
+"""The mat2c-style compilation pipeline.
+
+``compile_source``/``compile_program`` run the paper's translator
+stages end to end:
+
+parse → lower to SO-form IR (inlining user calls) → SSA → cleanup
+passes (copy propagation, DCE, constant folding, CSE) → type/shape
+inference ⇄ shape-query folding (iterated: each folding round can turn
+more shapes static) → **GCTD** → SSA inversion with identity-copy
+folding → executable IR + allocation plan (+ C, via the back end).
+
+The result object can execute the program under the mat2c VM, the mcc
+baseline model, and the AST interpreter, so one compilation supports
+the paper's whole comparison matrix.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.analysis.pass_manager import PassStatistics, run_cleanup_pipeline
+from repro.core.gctd import GCTDOptions, GCTDResult, run_gctd
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_program
+from repro.interp.interpreter import InterpResult, interpret
+from repro.ir.cfg import IRFunction
+from repro.ir.lower import lower_program
+from repro.mccsim.executor import MccExecutor
+from repro.runtime.builtins import RuntimeContext
+from repro.ssa.construct import construct_ssa
+from repro.ssa.invert import invert_ssa
+from repro.typing.infer import TypeEnvironment, infer_types
+from repro.typing.shapefold import fold_shape_queries
+from repro.vm.base import ExecutionResult
+from repro.vm.executor import Mat2CExecutor
+
+_MAX_INFERENCE_ROUNDS = 4
+
+
+@dataclass(slots=True)
+class CompilerOptions:
+    gctd: GCTDOptions = field(default_factory=GCTDOptions)
+    enable_cse: bool = True
+    enable_constfold: bool = True
+    enable_shapefold: bool = True
+    max_steps: int = 20_000_000
+
+
+@dataclass(slots=True)
+class CompilationResult:
+    program: ast.Program
+    ssa_func: IRFunction          # SSA form (as GCTD saw it)
+    exec_func: IRFunction         # inverted, executable IR
+    env: TypeEnvironment
+    gctd: GCTDResult
+    pass_stats: PassStatistics
+    options: CompilerOptions
+    identity_copies_folded: int = 0
+
+    @property
+    def plan(self):
+        return self.gctd.plan
+
+    @property
+    def report(self):
+        return self.gctd.plan.stats
+
+    # -- execution front doors ------------------------------------------
+
+    def run_mat2c(
+        self, ctx: RuntimeContext | None = None, aliased: bool = False
+    ) -> ExecutionResult:
+        """Execute under the GCTD-allocated mat2c model.
+
+        ``aliased=True`` routes reads and writes through the shared
+        group buffers (like the generated C), which validates that the
+        coalescing itself preserves the program's meaning.
+        """
+        executor = Mat2CExecutor(
+            self.exec_func,
+            self.plan,
+            ctx=ctx,
+            max_steps=self.options.max_steps,
+            aliased=aliased,
+        )
+        return executor.run()
+
+    def run_mcc(self, ctx: RuntimeContext | None = None) -> ExecutionResult:
+        """Execute under the mcc library/mxArray model."""
+        executor = MccExecutor(
+            self.exec_func, ctx=ctx, max_steps=self.options.max_steps
+        )
+        return executor.run()
+
+    def run_interpreter(
+        self, ctx: RuntimeContext | None = None
+    ) -> InterpResult:
+        """Execute under the tree-walking interpreter (semantic oracle)."""
+        return interpret(
+            self.program, ctx, max_steps=self.options.max_steps
+        )
+
+    def generate_c(self) -> str:
+        """Emit the C translation (see :mod:`repro.backend.cgen`)."""
+        from repro.backend.cgen import generate_c
+
+        return generate_c(self)
+
+
+def compile_program(
+    sources: dict[str, str],
+    entry: str | None = None,
+    options: CompilerOptions | None = None,
+) -> CompilationResult:
+    """Compile a set of M-files (filename → text)."""
+    options = options or CompilerOptions()
+    program = parse_program(sources, entry)
+    func = lower_program(program)
+    construct_ssa(func)
+    pass_stats = run_cleanup_pipeline(
+        func,
+        enable_cse=options.enable_cse,
+        enable_constfold=options.enable_constfold,
+    )
+    env = infer_types(func)
+    if options.enable_shapefold:
+        for _ in range(_MAX_INFERENCE_ROUNDS):
+            folded = fold_shape_queries(func, env)
+            if not folded:
+                break
+            run_cleanup_pipeline(
+                func,
+                enable_cse=options.enable_cse,
+                enable_constfold=options.enable_constfold,
+            )
+            env = infer_types(func)
+
+    gctd = run_gctd(func, env, options.gctd)
+
+    ssa_snapshot = copy.deepcopy(func)
+    invert_ssa(func)
+    # Identity copies (same storage group) stay in the executable IR —
+    # the environment is name-keyed — but they cost nothing in the
+    # mat2c model and the C back end emits no code for them.  Count
+    # them here for the report.
+    folded_copies = _count_identity_copies(func, gctd.plan)
+
+    return CompilationResult(
+        program=program,
+        ssa_func=ssa_snapshot,
+        exec_func=func,
+        env=env,
+        gctd=gctd,
+        pass_stats=pass_stats,
+        options=options,
+        identity_copies_folded=folded_copies,
+    )
+
+
+def _count_identity_copies(func: IRFunction, plan) -> int:
+    from repro.ir.instr import Var
+
+    count = 0
+    for instr in func.instructions():
+        if (
+            instr.op == "copy"
+            and len(instr.args) == 1
+            and isinstance(instr.args[0], Var)
+            and plan.same_storage(instr.results[0], instr.args[0].name)
+        ):
+            count += 1
+    return count
+
+
+def compile_source(
+    text: str,
+    name: str = "main",
+    options: CompilerOptions | None = None,
+) -> CompilationResult:
+    """Compile a single M-file given as a string."""
+    return compile_program({f"{name}.m": text}, options=options)

@@ -1,0 +1,76 @@
+"""Human-readable compilation reports (Table-2-style statistics).
+
+Formats one compilation's GCTD outcome the way the paper reports it:
+the s/d subsumption column, storage reduction, the per-group layout,
+and the ∘/+/± resize annotations of §3.2.2.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.core.allocation import (
+    GROW_ONLY,
+    MAY_RESIZE,
+    NO_RESIZE,
+    StorageClass,
+)
+
+RESIZE_SYMBOL = {NO_RESIZE: "o", GROW_ONLY: "+", MAY_RESIZE: "~"}
+
+
+def reduction_summary(result) -> str:
+    """One-paragraph Table-2 row for a compilation result."""
+    stats = result.report
+    return (
+        f"{stats.static_subsumed}/{stats.dynamic_subsumed} of "
+        f"{stats.original_variable_count} variables subsumed "
+        f"({stats.storage_reduction_kb:.2f} KB static reduction, "
+        f"{stats.color_count} colors, {stats.group_count} groups)"
+    )
+
+
+def storage_map(result, include_singletons: bool = False) -> str:
+    """The full allocation plan as text: groups, members, marks."""
+    out = StringIO()
+    plan = result.plan
+    out.write(f"stack frame: {plan.stack_frame_bytes()} bytes\n")
+    for group in plan.groups:
+        if len(group.members) < 2 and not include_singletons:
+            continue
+        size = (
+            f"{group.static_size} B"
+            if group.static_size is not None
+            else "symbolic"
+        )
+        out.write(
+            f"group {group.gid} [{group.storage.value}, "
+            f"{group.intrinsic.name}, {size}] root={group.root}\n"
+        )
+        for member in group.members:
+            mark = plan.resize_marks.get(member)
+            symbol = RESIZE_SYMBOL.get(mark, " ") if mark else " "
+            vartype = result.env.of(member)
+            out.write(f"  {symbol} {member:<24s} {vartype}\n")
+    return out.getvalue()
+
+
+def interference_summary(result) -> str:
+    """Phase-1 statistics: edge counts and coalescing outcomes."""
+    stats = result.gctd.interference_stats
+    return (
+        f"interference edges: {stats.duchain_edges} du-chain + "
+        f"{stats.opsem_edges} operator-semantics; "
+        f"φ-webs coalesced: {stats.phi_coalesced} "
+        f"(blocked: {stats.phi_blocked})"
+    )
+
+
+def full_report(result) -> str:
+    parts = [
+        reduction_summary(result),
+        interference_summary(result),
+        "",
+        storage_map(result),
+    ]
+    return "\n".join(parts)

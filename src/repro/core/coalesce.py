@@ -1,0 +1,51 @@
+"""φ-web coalescing (paper §2.2.1).
+
+For every join node ``Z = φ(X, Y)``, Z is coalesced with each operand
+that it does not interfere with, so the copies reintroduced by SSA
+inversion become identity assignments and vanish.  As the paper notes,
+such coalescing constrains the coloring (it can raise the chromatic
+number) but is "indispensable to the generation of efficient code":
+a single uncoalesced copy of a large array inside a loop dominates the
+run time through paging activity.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Var
+
+from repro.core.interference import InterferenceGraph, InterferenceStats
+
+
+def coalesce_phi_webs(
+    func: IRFunction,
+    graph: InterferenceGraph,
+    stats: InterferenceStats | None = None,
+) -> int:
+    """Coalesce φ results with non-interfering operands.
+
+    Returns the number of successful merges.  Iterates to a fixed point
+    because one merge can make another φ's operands coalescible (or
+    not), and the interference graph is updated in place by
+    :meth:`InterferenceGraph.coalesce`.
+    """
+    merged_total = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks.values():
+            for phi in block.phis():
+                z = phi.results[0]
+                for arg in phi.args:
+                    if not isinstance(arg, Var):
+                        continue
+                    if graph.find(z) == graph.find(arg.name):
+                        continue
+                    if graph.coalesce(z, arg.name):
+                        merged_total += 1
+                        changed = True
+                    elif stats is not None:
+                        stats.phi_blocked += 1
+    if stats is not None:
+        stats.phi_coalesced += merged_total
+    return merged_total

@@ -1,0 +1,136 @@
+"""``Decompose-color-class`` (paper §3.3).
+
+A color class V is decomposed into *groups* using the storage-size
+partial order ⪯:
+
+1. build the digraph over V with an edge from larger to smaller
+   (x → y iff S(y) ⪯ S(x), y ≠ x) — oriented so that the roots of the
+   forest below are the ⪯-*maximal* elements, as the paper's Lemma 1
+   and in-degree-0 argument require;
+2. find its strongly connected components and form the (acyclic)
+   component graph G^SCC;
+3. grow a forest by BFS from the in-degree-0 SCCs: every tree is one
+   group, rooted at a maximal element that bounds the storage of all
+   variables in the group.
+
+Nodes reachable from two maximal chains are assigned wholly to the
+first tree that reaches them, matching the paper's implementation
+note.  Runs in O(V + E).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.storage_order import StorageOrder
+
+
+@dataclass(slots=True)
+class Group:
+    """One decomposition group: variables overlaid on a shared area."""
+
+    root: str                       # a ⪯-maximal member
+    members: list[str] = field(default_factory=list)
+
+
+def strongly_connected_components(
+    nodes: list[str], succ: dict[str, list[str]]
+) -> list[list[str]]:
+    """Iterative Tarjan SCC (no recursion: CFG-sized inputs only, but
+    color classes can hold hundreds of temporaries)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+    counter = 0
+
+    for start in nodes:
+        if start in index:
+            continue
+        work: list[tuple[str, int]] = [(start, 0)]
+        while work:
+            node, child_idx = work[-1]
+            if child_idx == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succ.get(node, [])
+            while child_idx < len(children):
+                child = children[child_idx]
+                child_idx += 1
+                if child not in index:
+                    work[-1] = (node, child_idx)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work[-1] = (node, len(children))
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result
+
+
+def decompose_color_class(
+    variables: list[str], order: StorageOrder
+) -> list[Group]:
+    """Partition one color class into groups per the paper's algorithm."""
+    if not variables:
+        return []
+    # Step 0: the ⪯ digraph, big → small.
+    succ: dict[str, list[str]] = {v: [] for v in variables}
+    for u in variables:
+        for v in variables:
+            if u != v and order.precedes(v, u):
+                succ[u].append(v)
+
+    # Step 1: component graph.
+    sccs = strongly_connected_components(variables, succ)
+    scc_of: dict[str, int] = {}
+    for i, comp in enumerate(sccs):
+        for v in comp:
+            scc_of[v] = i
+    scc_succ: dict[int, set[int]] = {i: set() for i in range(len(sccs))}
+    in_degree: dict[int, int] = {i: 0 for i in range(len(sccs))}
+    for u in variables:
+        for v in succ[u]:
+            a, b = scc_of[u], scc_of[v]
+            if a != b and b not in scc_succ[a]:
+                scc_succ[a].add(b)
+                in_degree[b] += 1
+
+    # Step 2: BFS forest from in-degree-0 (maximal) components.
+    assigned: dict[int, int] = {}  # scc id → group index
+    groups: list[Group] = []
+    for i, comp in enumerate(sccs):
+        if in_degree[i] != 0 or i in assigned:
+            continue
+        group_index = len(groups)
+        groups.append(Group(root=comp[0]))
+        queue = deque([i])
+        assigned[i] = group_index
+        while queue:
+            current = queue.popleft()
+            groups[group_index].members.extend(sccs[current])
+            for nxt in scc_succ[current]:
+                if nxt not in assigned:
+                    assigned[nxt] = group_index
+                    queue.append(nxt)
+    return groups

@@ -1,0 +1,133 @@
+"""Partial-interference analysis (paper §2.1).
+
+The paper's example: ``a`` and ``b`` are 2×2 matrices whose du-chains
+overlap — so they fully interfere in the implementation — yet the only
+use of ``a`` in the overlap is the scalar read ``c = a(1)``, so all but
+one element of their storage could have been shared ("a total of five
+double precision memory locations" for the whole computation).  The
+paper treats this as future work and stays conservative; we do the
+same for *allocation*, but this pass detects the opportunities and
+quantifies the foregone savings, so the conservatism is measured
+rather than silent.
+
+A pair (a, b) is a partial-interference candidate when:
+
+* a and b interfere (same du-chain-overlap test as Phase 1), and
+* every use of ``a`` at a point where ``b`` is also live is a
+  ``subsref`` with all-scalar subscripts (so only one element of ``a``
+  is demanded while ``b``'s storage is in play) — or symmetrically.
+
+The reported potential saving for the pair is S(small) − one element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Instr, StrConst, Var
+from repro.typing.infer import TypeEnvironment
+from repro.typing.intrinsic import scalar_size
+
+from repro.core.interference import InterferenceGraph
+
+
+@dataclass(frozen=True, slots=True)
+class PartialPair:
+    array: str          # the variable accessed only elementwise
+    other: str          # the interfering variable it could overlap
+    potential_bytes: int
+
+
+@dataclass(slots=True)
+class PartialInterferenceReport:
+    pairs: list[PartialPair] = field(default_factory=list)
+
+    @property
+    def total_potential_bytes(self) -> int:
+        return sum(p.potential_bytes for p in self.pairs)
+
+
+def _is_scalar_subsref(instr: Instr, env: TypeEnvironment, of: str) -> bool:
+    if instr.op != "subsref":
+        return False
+    base = instr.args[0]
+    if not (isinstance(base, Var) and base.name == of):
+        return False
+    for sub in instr.args[1:]:
+        if isinstance(sub, StrConst):
+            return False
+        if isinstance(sub, Var) and not env.of(sub.name).is_scalar:
+            return False
+    return True
+
+
+def find_partial_interference(
+    func: IRFunction,
+    env: TypeEnvironment,
+    graph: InterferenceGraph,
+) -> PartialInterferenceReport:
+    """Scan for §2.1 pairs among interfering array variables."""
+    live = compute_liveness(func)
+    report = PartialInterferenceReport()
+
+    # collect, per variable, its use sites (instruction + block)
+    uses: dict[str, list[tuple[int, int, Instr]]] = {}
+    for bid in func.block_order():
+        for idx, instr in enumerate(func.blocks[bid].instrs):
+            for name in instr.used_vars():
+                uses.setdefault(name, []).append((bid, idx, instr))
+
+    arrays = [
+        name
+        for name in func.defined_vars()
+        if not env.of(name).is_scalar
+        and env.of(name).shape.static_numel() not in (None, 0, 1)
+    ]
+    seen: set[tuple[str, str]] = set()
+    for a in arrays:
+        for b in graph.neighbors(a):
+            if b not in uses and b not in arrays:
+                continue
+            if env.of(b).is_scalar:
+                continue
+            key = (a, b)
+            if key in seen:
+                continue
+            seen.add(key)
+            if _only_scalar_uses_while_live(a, b, uses, live, func, env):
+                numel = env.of(a).shape.static_numel()
+                if numel is None or numel <= 1:
+                    continue
+                element = scalar_size(env.of(a).intrinsic)
+                report.pairs.append(
+                    PartialPair(
+                        array=a,
+                        other=b,
+                        potential_bytes=(numel - 1) * element,
+                    )
+                )
+    report.pairs.sort(key=lambda p: -p.potential_bytes)
+    return report
+
+
+def _only_scalar_uses_while_live(
+    a: str, b: str, uses, live, func: IRFunction, env: TypeEnvironment
+) -> bool:
+    """Every use of ``a`` at a point where ``b`` is live must be a
+    scalar subsref (and there must be at least one such use)."""
+    relevant = 0
+    for bid, idx, instr in uses.get(a, ()):
+        # approximate "b live here" at block granularity
+        block_live = b in live.live_in.get(bid, set()) or b in (
+            live.live_out.get(bid, set())
+        ) or any(
+            b in i.results for i in func.blocks[bid].instrs[:idx]
+        )
+        if not block_live:
+            continue
+        relevant += 1
+        if not _is_scalar_subsref(instr, env, a):
+            return False
+    return relevant > 0

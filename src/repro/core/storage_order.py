@@ -1,0 +1,71 @@
+"""The storage-size partial order ⪯ (paper §3.2, Relation 1).
+
+    S(u) ⪯ S(v)  iff
+      (static criterion)   both sizes statically estimable,
+                           τ(u) = τ(v), and S(u) ≤ S(v);   or
+      (symbolic criterion) both sizes statically inestimable,
+                           u is available at the definition of v,
+                           τ(u) = τ(v), and S(u) ≤ S(v) symbolically.
+
+The two criteria are deliberately disjoint (a static and a symbolic
+size are never related — the paper's Example 2 closing remark), and
+both require *identical* intrinsic types so the generated C needs no
+casts and meets no alignment issues.
+
+The symbolic criterion's "available at the definition" clause is what
+ties Phase 2 to control flow: chains built from it correspond to
+definitions stepping through nondecreasingly-sized arrays along an
+execution path, which is precisely the spatial-reuse pattern the paper
+is after (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.availability import AvailabilityInfo
+from repro.typing.infer import TypeEnvironment
+from repro.typing.types import VarType
+
+
+@dataclass(slots=True)
+class StorageOrder:
+    """Decidable wrapper around ⪯ for one function's variables."""
+
+    env: TypeEnvironment
+    availability: AvailabilityInfo
+    use_symbolic: bool = True  # ablation: drop the second criterion
+
+    def statically_estimable(self, name: str) -> bool:
+        """Paper §3.2.1: explicit shape tuple (φ-joins of explicit
+        tuples are folded to per-extent maxima by the shape lattice, so
+        case 2 — ``max(S(v), S(w))`` at a join — is subsumed)."""
+        return self.env.of(name).shape.is_static
+
+    def static_size(self, name: str) -> int:
+        size = self.env.of(name).static_storage_size()
+        assert size is not None
+        return size
+
+    def precedes(self, u: str, v: str) -> bool:
+        """S(u) ⪯ S(v) under Relation 1 (reflexive)."""
+        if u == v:
+            return True
+        tu: VarType = self.env.of(u)
+        tv: VarType = self.env.of(v)
+        if tu.intrinsic != tv.intrinsic:
+            return False
+        u_static = tu.shape.is_static
+        v_static = tv.shape.is_static
+        if u_static and v_static:
+            su, sv = tu.static_storage_size(), tv.static_storage_size()
+            assert su is not None and sv is not None
+            return su <= sv
+        if u_static or v_static:
+            # sizes in different estimability classes are never related
+            return False
+        if not self.use_symbolic:
+            return False
+        if not self.availability.available_at_definition_of(u, v):
+            return False
+        return tu.shape.storage_le(tv.shape)

@@ -1,0 +1,19 @@
+"""MATLAB frontend: lexer, parser, and AST for the supported subset."""
+
+from repro.frontend.ast_nodes import FunctionDef, Program
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse_program, parse_source
+from repro.frontend.source import Location, MatlabError, MatlabSyntaxError
+
+__all__ = [
+    "FunctionDef",
+    "Program",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "parse_source",
+    "Location",
+    "MatlabError",
+    "MatlabSyntaxError",
+]

@@ -1,0 +1,286 @@
+"""Tokenizer for the MATLAB subset accepted by the repro frontend.
+
+The lexer handles the classic MATLAB quirks that matter for our
+benchmark programs:
+
+* the single quote ``'`` is *transpose* after a value-producing token
+  (identifier, number, ``)``, ``]``, ``end``, or another transpose) and a
+  *string delimiter* everywhere else;
+* ``%`` starts a comment running to the end of the line;
+* ``...`` continues a logical line onto the next physical line;
+* newlines are significant (they terminate statements), so they are
+  emitted as ``NEWLINE`` tokens rather than skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.frontend.source import Location, MatlabSyntaxError
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    OP = auto()
+    NEWLINE = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "function",
+        "if",
+        "elseif",
+        "else",
+        "end",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "global",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "...",
+    ".*",
+    "./",
+    ".\\",
+    ".^",
+    ".'",
+    "==",
+    "~=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "\\",
+    "^",
+    "'",
+    "<",
+    ">",
+    "&",
+    "|",
+    "~",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "@",
+    ".",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: Location
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is TokenKind.OP and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Single-pass scanner producing a list of :class:`Token`."""
+
+    def __init__(self, text: str, filename: str = "<source>"):
+        self._text = text
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        self._tokens: list[Token] = []
+
+    def tokenize(self) -> list[Token]:
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch in " \t\r":
+                self._advance()
+            elif ch == "%":
+                self._skip_comment()
+            elif ch == "\n":
+                self._emit_newline()
+            elif self._match_continuation():
+                continue
+            elif ch.isdigit() or (ch == "." and self._peek_digit()):
+                self._lex_number()
+            elif _is_ident_start(ch):
+                self._lex_ident()
+            elif ch == "'" and not self._quote_is_transpose():
+                self._lex_string()
+            else:
+                self._lex_operator()
+        self._tokens.append(
+            Token(TokenKind.EOF, "", self._location())
+        )
+        return self._tokens
+
+    # ------------------------------------------------------------------
+
+    def _location(self) -> Location:
+        return Location(self._line, self._col, self._filename)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self._pos < len(self._text) and self._text[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _peek_digit(self) -> bool:
+        nxt = self._pos + 1
+        return nxt < len(self._text) and self._text[nxt].isdigit()
+
+    def _skip_comment(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] != "\n":
+            self._advance()
+
+    def _emit_newline(self) -> None:
+        # Collapse runs of newlines into a single NEWLINE token.
+        loc = self._location()
+        self._advance()
+        if not self._tokens or self._tokens[-1].kind is not TokenKind.NEWLINE:
+            self._tokens.append(Token(TokenKind.NEWLINE, "\n", loc))
+
+    def _match_continuation(self) -> bool:
+        if self._text.startswith("...", self._pos):
+            # Skip the ellipsis and everything up to and including the
+            # next newline; the logical line continues.
+            while self._pos < len(self._text) and self._text[self._pos] != "\n":
+                self._advance()
+            if self._pos < len(self._text):
+                self._advance()  # consume the newline itself
+            return True
+        return False
+
+    def _lex_number(self) -> None:
+        loc = self._location()
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos].isdigit():
+            self._advance()
+        if self._pos < len(self._text) and self._text[self._pos] == ".":
+            # Don't swallow the dot of elementwise ops like `2.*x`... a dot
+            # followed by an operator char belongs to the operator.
+            nxt = self._text[self._pos + 1 : self._pos + 2]
+            if nxt.isdigit() or nxt in ("e", "E") or not self._op_follows_dot():
+                self._advance()
+                while (
+                    self._pos < len(self._text)
+                    and self._text[self._pos].isdigit()
+                ):
+                    self._advance()
+        if self._pos < len(self._text) and self._text[self._pos] in "eE":
+            save = self._pos
+            self._advance()
+            if self._pos < len(self._text) and self._text[self._pos] in "+-":
+                self._advance()
+            if self._pos < len(self._text) and self._text[self._pos].isdigit():
+                while (
+                    self._pos < len(self._text)
+                    and self._text[self._pos].isdigit()
+                ):
+                    self._advance()
+            else:
+                self._pos = save  # not an exponent after all
+        if self._pos < len(self._text) and self._text[self._pos] in "ij":
+            self._advance()  # imaginary literal suffix
+        self._tokens.append(
+            Token(TokenKind.NUMBER, self._text[start : self._pos], loc)
+        )
+
+    def _op_follows_dot(self) -> bool:
+        nxt = self._text[self._pos + 1 : self._pos + 2]
+        return nxt in ("*", "/", "\\", "^", "'")
+
+    def _lex_ident(self) -> None:
+        loc = self._location()
+        start = self._pos
+        while self._pos < len(self._text) and _is_ident_char(
+            self._text[self._pos]
+        ):
+            self._advance()
+        name = self._text[start : self._pos]
+        kind = TokenKind.KEYWORD if name in KEYWORDS else TokenKind.IDENT
+        self._tokens.append(Token(kind, name, loc))
+
+    def _quote_is_transpose(self) -> bool:
+        """Decide whether a ``'`` at the current position is transpose."""
+        for tok in reversed(self._tokens):
+            if tok.kind is TokenKind.NEWLINE:
+                return False
+            if tok.kind in (TokenKind.IDENT, TokenKind.NUMBER):
+                return True
+            if tok.kind is TokenKind.KEYWORD:
+                return tok.text == "end"
+            if tok.kind is TokenKind.OP:
+                return tok.text in (")", "]", "}", "'", ".'")
+            return False
+        return False
+
+    def _lex_string(self) -> None:
+        loc = self._location()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._text) or self._text[self._pos] == "\n":
+                raise MatlabSyntaxError("unterminated string literal", loc)
+            ch = self._text[self._pos]
+            if ch == "'":
+                if self._text[self._pos + 1 : self._pos + 2] == "'":
+                    chars.append("'")  # doubled quote escapes itself
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            chars.append(ch)
+            self._advance()
+        self._tokens.append(Token(TokenKind.STRING, "".join(chars), loc))
+
+    def _lex_operator(self) -> None:
+        loc = self._location()
+        for op in _OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                self._tokens.append(Token(TokenKind.OP, op, loc))
+                return
+        raise MatlabSyntaxError(
+            f"unexpected character {self._text[self._pos]!r}", loc
+        )
+
+
+def tokenize(text: str, filename: str = "<source>") -> list[Token]:
+    """Tokenize MATLAB source, returning a token list ending in EOF."""
+    return Lexer(text, filename).tokenize()

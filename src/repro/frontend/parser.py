@@ -1,0 +1,581 @@
+"""Recursive-descent parser for the MATLAB subset.
+
+Produces the AST of :mod:`repro.frontend.ast_nodes`.  Operator
+precedence follows the MATLAB 6 reference manual; the notorious corner
+cases handled here are:
+
+* space-separated elements inside matrix literals (``[1 -2]`` is two
+  elements, ``[1 - 2]`` is one) — resolved using token adjacency;
+* ``end`` as both a block terminator and a subscript expression —
+  resolved by tracking parenthesis nesting;
+* ``[a, b] = f(x)`` multi-assignment versus a matrix-literal expression
+  statement — resolved by scanning ahead for ``=``.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.source import Location, MatlabSyntaxError
+
+# Binary operator precedence, low to high.  Unary minus sits between
+# multiplicative and power, matching MATLAB (-2^2 == -4).
+_PRECEDENCE: dict[str, int] = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "&": 4,
+    "==": 5,
+    "~=": 5,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    # ':' handled separately (precedence 6)
+    "+": 7,
+    "-": 7,
+    "*": 8,
+    "/": 8,
+    "\\": 8,
+    ".*": 8,
+    "./": 8,
+    ".\\": 8,
+    # '^'/'.^' handled in _parse_power (precedence 10)
+}
+
+_RANGE_PREC = 6
+_UNARY_PREC = 9
+
+_STMT_END_KEYWORDS = frozenset(
+    {"end", "else", "elseif", "function"}
+)
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], filename: str = "<source>"):
+        self._tokens = tokens
+        self._pos = 0
+        self._filename = filename
+        self._paren_depth = 0
+        self._bracket_depth = 0
+
+    # -- token utilities ----------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _accept_op(self, text: str) -> bool:
+        if self._peek().is_op(text):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._next()
+            return True
+        return False
+
+    def _expect_op(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_op(text):
+            raise MatlabSyntaxError(
+                f"expected {text!r}, found {tok.text!r}", tok.location
+            )
+        return self._next()
+
+    def _expect_keyword(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_keyword(text):
+            raise MatlabSyntaxError(
+                f"expected keyword {text!r}, found {tok.text!r}", tok.location
+            )
+        return self._next()
+
+    def _skip_newlines(self) -> None:
+        while self._peek().kind is TokenKind.NEWLINE or self._peek().is_op(
+            ";"
+        ) or self._peek().is_op(","):
+            self._next()
+
+    # -- program / function structure ---------------------------------
+
+    def parse_file(self, default_name: str) -> list[ast.FunctionDef]:
+        """Parse one M-file into its function definitions.
+
+        A script file (no ``function`` header) becomes a single
+        zero-argument function named ``default_name``.
+        """
+        self._skip_newlines()
+        funcs: list[ast.FunctionDef] = []
+        if not self._peek().is_keyword("function"):
+            body = self._parse_statements(stop_keywords=frozenset({"function"}))
+            funcs.append(ast.FunctionDef(name=default_name, body=body))
+        while self._peek().is_keyword("function"):
+            funcs.append(self._parse_function())
+            self._skip_newlines()
+        tok = self._peek()
+        if tok.kind is not TokenKind.EOF:
+            raise MatlabSyntaxError(
+                f"unexpected {tok.text!r} at top level", tok.location
+            )
+        return funcs
+
+    def _parse_function(self) -> ast.FunctionDef:
+        loc = self._expect_keyword("function").location
+        outputs: list[str] = []
+        # Three header shapes: `function name(...)`,
+        # `function out = name(...)`, `function [o1, o2] = name(...)`.
+        if self._peek().is_op("["):
+            self._next()
+            while not self._peek().is_op("]"):
+                outputs.append(self._expect_ident())
+                self._accept_op(",")
+            self._expect_op("]")
+            self._expect_op("=")
+            name = self._expect_ident()
+        else:
+            first = self._expect_ident()
+            if self._accept_op("="):
+                outputs = [first]
+                name = self._expect_ident()
+            else:
+                name = first
+        inputs: list[str] = []
+        if self._accept_op("("):
+            self._paren_depth += 1
+            while not self._peek().is_op(")"):
+                inputs.append(self._expect_ident())
+                self._accept_op(",")
+            self._expect_op(")")
+            self._paren_depth -= 1
+        body = self._parse_statements(
+            stop_keywords=frozenset({"function", "end"})
+        )
+        # An explicit terminating `end` on the function is optional.
+        self._accept_keyword("end")
+        return ast.FunctionDef(
+            name=name, inputs=inputs, outputs=outputs, body=body, location=loc
+        )
+
+    def _expect_ident(self) -> str:
+        tok = self._peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise MatlabSyntaxError(
+                f"expected identifier, found {tok.text!r}", tok.location
+            )
+        self._next()
+        return tok.text
+
+    # -- statements -----------------------------------------------------
+
+    def _parse_statements(
+        self, stop_keywords: frozenset[str] = frozenset({"end"})
+    ) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        while True:
+            self._skip_newlines()
+            tok = self._peek()
+            if tok.kind is TokenKind.EOF:
+                break
+            if tok.kind is TokenKind.KEYWORD and tok.text in stop_keywords:
+                break
+            stmts.append(self._parse_statement())
+        return stmts
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.kind is TokenKind.KEYWORD:
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "break":
+                self._next()
+                return ast.Break(location=tok.location)
+            if tok.text == "continue":
+                self._next()
+                return ast.Continue(location=tok.location)
+            if tok.text == "return":
+                self._next()
+                return ast.Return(location=tok.location)
+            raise MatlabSyntaxError(
+                f"unexpected keyword {tok.text!r}", tok.location
+            )
+        if tok.is_op("[") and self._looks_like_multi_assign():
+            return self._parse_multi_assign()
+        return self._parse_simple_statement()
+
+    def _looks_like_multi_assign(self) -> bool:
+        """After a leading '[', scan for `] =` (but not `==`)."""
+        depth = 0
+        i = self._pos
+        while i < len(self._tokens):
+            tok = self._tokens[i]
+            if tok.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+                return False
+            if tok.is_op("[") or tok.is_op("("):
+                depth += 1
+            elif tok.is_op("]") or tok.is_op(")"):
+                depth -= 1
+                if depth == 0:
+                    nxt = self._tokens[i + 1] if i + 1 < len(self._tokens) else None
+                    return nxt is not None and nxt.is_op("=")
+            i += 1
+        return False
+
+    def _parse_multi_assign(self) -> ast.MultiAssign:
+        loc = self._expect_op("[").location
+        self._bracket_depth += 1
+        targets: list[ast.Expr] = []
+        while not self._peek().is_op("]"):
+            targets.append(self._parse_postfix())
+            self._accept_op(",")
+        self._expect_op("]")
+        self._bracket_depth -= 1
+        self._expect_op("=")
+        value = self._parse_expr()
+        display = not self._statement_semicolon()
+        return ast.MultiAssign(
+            targets=targets, value=value, display=display, location=loc
+        )
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        loc = self._peek().location
+        expr = self._parse_expr()
+        if self._peek().is_op("="):
+            if not isinstance(expr, (ast.Ident, ast.Apply)):
+                raise MatlabSyntaxError(
+                    "invalid assignment target", self._peek().location
+                )
+            self._next()
+            value = self._parse_expr()
+            display = not self._statement_semicolon()
+            return ast.Assign(
+                target=expr, value=value, display=display, location=loc
+            )
+        display = not self._statement_semicolon()
+        return ast.ExprStmt(value=expr, display=display, location=loc)
+
+    def _statement_semicolon(self) -> bool:
+        """Consume a statement terminator; True if it was ``;``."""
+        if self._accept_op(";"):
+            return True
+        if self._accept_op(","):
+            return False
+        tok = self._peek()
+        if tok.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            return False
+        if tok.kind is TokenKind.KEYWORD and tok.text in _STMT_END_KEYWORDS:
+            return False
+        raise MatlabSyntaxError(
+            f"expected end of statement, found {tok.text!r}", tok.location
+        )
+
+    def _parse_if(self) -> ast.If:
+        loc = self._expect_keyword("if").location
+        branches: list[tuple[ast.Expr, list[ast.Stmt]]] = []
+        cond = self._parse_expr()
+        body = self._parse_statements(frozenset({"end", "else", "elseif"}))
+        branches.append((cond, body))
+        orelse: list[ast.Stmt] = []
+        while True:
+            if self._accept_keyword("elseif"):
+                cond = self._parse_expr()
+                body = self._parse_statements(
+                    frozenset({"end", "else", "elseif"})
+                )
+                branches.append((cond, body))
+            elif self._accept_keyword("else"):
+                orelse = self._parse_statements(frozenset({"end"}))
+                break
+            else:
+                break
+        self._expect_keyword("end")
+        return ast.If(branches=branches, orelse=orelse, location=loc)
+
+    def _parse_while(self) -> ast.While:
+        loc = self._expect_keyword("while").location
+        cond = self._parse_expr()
+        body = self._parse_statements(frozenset({"end"}))
+        self._expect_keyword("end")
+        return ast.While(condition=cond, body=body, location=loc)
+
+    def _parse_for(self) -> ast.For:
+        loc = self._expect_keyword("for").location
+        var = self._expect_ident()
+        self._expect_op("=")
+        iterable = self._parse_expr()
+        body = self._parse_statements(frozenset({"end"}))
+        self._expect_keyword("end")
+        return ast.For(var=var, iterable=iterable, body=body, location=loc)
+
+    # -- expressions ----------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(1)
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        if min_prec <= _RANGE_PREC:
+            return self._parse_range_level(min_prec)
+        return self._parse_binary_above_range(min_prec)
+
+    def _parse_range_level(self, min_prec: int) -> ast.Expr:
+        left = self._parse_binary_tail(min_prec, upto=_RANGE_PREC)
+        if self._peek().is_op(":") and not self._colon_is_subscript():
+            loc = self._next().location
+            second = self._parse_binary_above_range(_RANGE_PREC + 1)
+            if self._peek().is_op(":") and not self._colon_is_subscript():
+                self._next()
+                third = self._parse_binary_above_range(_RANGE_PREC + 1)
+                rng: ast.Expr = ast.Range(
+                    start=left, stop=third, step=second, location=loc
+                )
+            else:
+                rng = ast.Range(start=left, stop=second, location=loc)
+            return self._continue_binary(rng, min_prec, upto=_RANGE_PREC)
+        return left
+
+    def _colon_is_subscript(self) -> bool:
+        # Inside a subscript list a trailing `:` before `,` or `)` would
+        # be a whole-dimension colon; bare `:` operands are handled in
+        # _parse_primary, so a `:` reaching here is always a range.
+        return False
+
+    def _parse_binary_tail(self, min_prec: int, upto: int) -> ast.Expr:
+        left = self._parse_binary_above_range(upto + 1)
+        return self._continue_binary(left, min_prec, upto)
+
+    def _continue_binary(
+        self, left: ast.Expr, min_prec: int, upto: int
+    ) -> ast.Expr:
+        while True:
+            tok = self._peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind is TokenKind.OP else None
+            if prec is None or prec < min_prec or prec > upto:
+                return left
+            if self._in_matrix_element_boundary():
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = ast.BinaryOp(
+                op=tok.text, left=left, right=right, location=tok.location
+            )
+
+    def _parse_binary_above_range(self, min_prec: int) -> ast.Expr:
+        if min_prec <= 8:
+            left = self._parse_unary()
+            return self._continue_binary(left, min_prec, upto=8)
+        return self._parse_unary()
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_op("-") or tok.is_op("+") or tok.is_op("~"):
+            self._next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.UnaryOp(op=tok.text, operand=operand, location=tok.location)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_postfix()
+        tok = self._peek()
+        if tok.is_op("^") or tok.is_op(".^"):
+            self._next()
+            # Power is right-assoc in MATLAB via unary on the exponent.
+            exponent = self._parse_unary_for_power()
+            return ast.BinaryOp(
+                op=tok.text, left=base, right=exponent, location=tok.location
+            )
+        return base
+
+    def _parse_unary_for_power(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_op("-") or tok.is_op("+"):
+            self._next()
+            operand = self._parse_unary_for_power()
+            if tok.text == "+":
+                return operand
+            return ast.UnaryOp(op="-", operand=operand, location=tok.location)
+        return self._parse_power()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.is_op("(") and not self._space_before_paren(tok):
+                self._next()
+                self._paren_depth += 1
+                args = self._parse_arg_list()
+                self._expect_op(")")
+                self._paren_depth -= 1
+                expr = ast.Apply(func=expr, args=args, location=tok.location)
+            elif tok.is_op("'") or tok.is_op(".'"):
+                self._next()
+                expr = ast.Transpose(
+                    operand=expr,
+                    conjugate=(tok.text == "'"),
+                    location=tok.location,
+                )
+            else:
+                return expr
+
+    def _space_before_paren(self, tok: Token) -> bool:
+        """Inside `[...]`, `a (1)` starts a new element, `a(1)` indexes."""
+        if self._bracket_depth == 0:
+            return False
+        prev = self._tokens[self._pos - 1]
+        return not _adjacent(prev, tok)
+
+    def _parse_arg_list(self) -> list[ast.Expr]:
+        args: list[ast.Expr] = []
+        while not self._peek().is_op(")"):
+            if self._peek().is_op(":") and self._next_is_arg_end(1):
+                loc = self._next().location
+                args.append(ast.ColonAll(location=loc))
+            else:
+                args.append(self._parse_expr())
+            if not self._accept_op(","):
+                break
+        return args
+
+    def _next_is_arg_end(self, offset: int) -> bool:
+        tok = self._peek(offset)
+        return tok.is_op(",") or tok.is_op(")")
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._next()
+            text = tok.text
+            is_imag = text[-1] in "ij" and not text[-1].isdigit()
+            if is_imag:
+                text = text[:-1]
+            return ast.Num(
+                value=float(text), is_imag=is_imag, location=tok.location
+            )
+        if tok.kind is TokenKind.STRING:
+            self._next()
+            return ast.Str(value=tok.text, location=tok.location)
+        if tok.kind is TokenKind.IDENT:
+            self._next()
+            return ast.Ident(name=tok.text, location=tok.location)
+        if tok.is_keyword("end"):
+            if self._paren_depth > 0:
+                self._next()
+                return ast.EndMarker(location=tok.location)
+            raise MatlabSyntaxError("'end' outside subscript", tok.location)
+        if tok.is_op("("):
+            self._next()
+            self._paren_depth += 1
+            expr = self._parse_expr()
+            self._expect_op(")")
+            self._paren_depth -= 1
+            return expr
+        if tok.is_op("["):
+            return self._parse_matrix()
+        raise MatlabSyntaxError(
+            f"unexpected token {tok.text!r} in expression", tok.location
+        )
+
+    # -- matrix literals -------------------------------------------------
+
+    def _parse_matrix(self) -> ast.Expr:
+        loc = self._expect_op("[").location
+        self._bracket_depth += 1
+        rows: list[list[ast.Expr]] = []
+        row: list[ast.Expr] = []
+        while True:
+            tok = self._peek()
+            if tok.is_op("]"):
+                self._next()
+                break
+            if tok.kind is TokenKind.EOF:
+                raise MatlabSyntaxError("unterminated matrix literal", loc)
+            if tok.is_op(";") or tok.kind is TokenKind.NEWLINE:
+                self._next()
+                if row:
+                    rows.append(row)
+                    row = []
+                continue
+            if tok.is_op(","):
+                self._next()
+                continue
+            row.append(self._parse_expr())
+        if row:
+            rows.append(row)
+        self._bracket_depth -= 1
+        return ast.MatrixLit(rows=rows, location=loc)
+
+    def _in_matrix_element_boundary(self) -> bool:
+        """Decide if a `+`/`-` inside ``[...]`` starts a new element.
+
+        ``[a -b]`` → boundary (space before the sign, none after);
+        ``[a - b]`` and ``[a-b]`` → binary operator.
+        """
+        if self._bracket_depth == 0 or self._paren_depth > 0:
+            return False
+        tok = self._peek()
+        if not (tok.is_op("-") or tok.is_op("+")):
+            return False
+        prev = self._tokens[self._pos - 1]
+        nxt = self._peek(1)
+        space_before = not _adjacent(prev, tok)
+        space_after = not _adjacent(tok, nxt)
+        return space_before and not space_after
+
+
+def _token_end_column(tok: Token) -> int:
+    width = len(tok.text)
+    if tok.kind is TokenKind.STRING:
+        width += 2  # the surrounding quotes
+    return tok.location.column + width
+
+
+def _adjacent(a: Token, b: Token) -> bool:
+    return (
+        a.location.line == b.location.line
+        and _token_end_column(a) == b.location.column
+    )
+
+
+def parse_source(text: str, filename: str = "<source>") -> list[ast.FunctionDef]:
+    """Parse one M-file's text into its function definitions."""
+    default = filename.rsplit("/", 1)[-1].removesuffix(".m")
+    return Parser(tokenize(text, filename), filename).parse_file(default)
+
+
+def parse_program(
+    sources: dict[str, str], entry: str | None = None
+) -> ast.Program:
+    """Parse a set of M-files (name → text) into a :class:`Program`.
+
+    ``entry`` defaults to the function whose name matches the first
+    source file given.
+    """
+    program = ast.Program()
+    first_name: str | None = None
+    for filename, text in sources.items():
+        funcs = parse_source(text, filename)
+        for func in funcs:
+            if func.name in program.functions:
+                raise MatlabSyntaxError(
+                    f"duplicate function {func.name!r}", func.location
+                )
+            program.functions[func.name] = func
+        if funcs and first_name is None:
+            first_name = funcs[0].name
+    program.entry = entry or first_name or ""
+    if program.entry not in program.functions:
+        raise MatlabSyntaxError(f"entry function {program.entry!r} not found")
+    return program

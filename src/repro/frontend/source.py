@@ -1,0 +1,38 @@
+"""Source locations and front-end error types.
+
+Every token and AST node carries a :class:`Location` so that diagnostics
+from any later pass (lowering, type inference, GCTD) can point back at
+the offending MATLAB source line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A position in an M-file: 1-based line and column."""
+
+    line: int = 0
+    column: int = 0
+    filename: str = "<source>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+UNKNOWN_LOCATION = Location()
+
+
+class MatlabError(Exception):
+    """Base class for every error raised by the repro toolchain."""
+
+
+class MatlabSyntaxError(MatlabError):
+    """Raised by the lexer or parser on malformed MATLAB source."""
+
+    def __init__(self, message: str, location: Location = UNKNOWN_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.message = message

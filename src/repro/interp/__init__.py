@@ -1,0 +1,10 @@
+"""Tree-walking MATLAB interpreter (semantic oracle, Figure 5's intrp)."""
+
+from repro.interp.interpreter import (
+    InterpResult,
+    Interpreter,
+    InterpreterError,
+    interpret,
+)
+
+__all__ = ["InterpResult", "Interpreter", "InterpreterError", "interpret"]

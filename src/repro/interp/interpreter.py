@@ -1,0 +1,455 @@
+"""A tree-walking MATLAB interpreter (the MATLAB 6.1 stand-in).
+
+Evaluates the *AST* directly — independent of the IR pipeline — so it
+doubles as the semantic oracle for differential testing: interpreter
+output must equal both executors' output and the compiled C's output.
+
+Timing follows an interpretive cost model: per-node dispatch and
+name-table lookups on top of the same library-call costs mcc pays
+(MATLAB's built-in operations and mcc's library are the same code, as
+the paper notes).  Memory is modelled like mcc's boxes but with the
+interpreter process's much larger image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.source import MatlabError
+from repro.memsim.costs import CLOCK_HZ, CostModel, DEFAULT_COSTS
+from repro.memsim.meter import MemoryReport
+from repro.runtime import ops
+from repro.runtime.builtins import RuntimeContext, call_builtin
+from repro.runtime.errors import MatlabRuntimeError
+from repro.runtime.indexing import COLON, subsasgn, subsref
+from repro.runtime.marray import MArray
+from repro.runtime.names import BUILTIN_NAMES, CONSTANT_BUILTINS
+
+#: a -nojvm MATLAB 6.1 process image
+INTERP_IMAGE_BYTES = 11 * 1024 * 1024
+
+from repro.vm.work import _TRANSCENDENTALS  # shared cost classification
+
+
+class InterpreterError(MatlabError):
+    pass
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+_BINOP_FNS = {
+    "+": ops.add,
+    "-": ops.sub,
+    "*": ops.mul,
+    ".*": ops.elmul,
+    "/": ops.div,
+    "./": ops.eldiv,
+    "\\": ops.ldiv,
+    ".\\": ops.elldiv,
+    "^": ops.pow_,
+    ".^": ops.elpow,
+    "<": ops.lt,
+    "<=": ops.le,
+    ">": ops.gt,
+    ">=": ops.ge,
+    "==": ops.eq,
+    "~=": ops.ne,
+    "&": ops.and_,
+    "|": ops.or_,
+}
+
+_CONSTANTS = {
+    "pi": np.pi,
+    "eps": 2.220446049250313e-16,
+    "Inf": np.inf,
+    "inf": np.inf,
+    "NaN": np.nan,
+    "nan": np.nan,
+}
+
+
+@dataclass(slots=True)
+class InterpResult:
+    output: str
+    report: MemoryReport
+    steps: int
+    env: dict[str, MArray] = field(default_factory=dict)
+
+
+class Interpreter:
+    def __init__(
+        self,
+        program: ast.Program,
+        ctx: RuntimeContext | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        max_steps: int = 20_000_000,
+    ) -> None:
+        self.program = program
+        self.ctx = ctx or RuntimeContext()
+        self.costs = costs
+        self.max_steps = max_steps
+        self.clock = 0.0
+        self.steps = 0
+        self._heap_live = 0.0
+        self._heap_weighted = 0.0
+        self._last_sample = 0.0
+        self._call_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> InterpResult:
+        entry = self.program.entry_function()
+        scope = self._call_function(entry, [])
+        seconds = self.clock / CLOCK_HZ
+        avg_heap_kb = (
+            self._heap_weighted / self.clock / 1024.0 if self.clock else 0.0
+        )
+        report = MemoryReport(
+            avg_heap_kb=avg_heap_kb,
+            avg_dynamic_kb=avg_heap_kb + 16.0,
+            avg_virtual_kb=INTERP_IMAGE_BYTES / 1024.0 + avg_heap_kb,
+            avg_resident_kb=INTERP_IMAGE_BYTES / 1024.0 * 0.6 + avg_heap_kb,
+            execution_seconds=seconds,
+        )
+        return InterpResult(
+            output=self.ctx.captured(),
+            report=report,
+            steps=self.steps,
+            env=scope,
+        )
+
+    def _tick(self, cycles: float, heap_delta: float = 0.0) -> None:
+        self._heap_weighted += self._heap_live * cycles
+        self.clock += cycles
+        self._heap_live = max(0.0, self._heap_live + heap_delta)
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpreterError("interpreter step limit exceeded")
+
+    # -- functions -------------------------------------------------------
+
+    def _call_function(
+        self, func: ast.FunctionDef, args: list[MArray]
+    ) -> dict[str, MArray]:
+        if self._call_depth > 128:
+            raise InterpreterError("call depth limit exceeded")
+        self._call_depth += 1
+        scope: dict[str, MArray] = {}
+        for param, arg in zip(func.inputs, args):
+            scope[param] = arg
+        try:
+            self._exec_block(func.body, scope)
+        except _ReturnSignal:
+            pass
+        finally:
+            self._call_depth -= 1
+        return scope
+
+    def _call_user(self, name: str, args: list[MArray],
+                   nargout: int) -> list[MArray]:
+        func = self.program.functions[name]
+        scope = self._call_function(func, args)
+        outs = []
+        for out_name in func.outputs[: max(1, nargout)]:
+            if out_name not in scope:
+                raise InterpreterError(
+                    f"output {out_name!r} of {name!r} never assigned"
+                )
+            outs.append(scope[out_name])
+        return outs
+
+    # -- statements ------------------------------------------------------
+
+    def _exec_block(self, stmts: list[ast.Stmt], scope) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, scope)
+
+    def _exec_stmt(self, stmt: ast.Stmt, scope) -> None:
+        self._tick(self.costs.interp_dispatch)
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, scope)
+        elif isinstance(stmt, ast.MultiAssign):
+            self._exec_multi_assign(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            value = self._eval(stmt.value, scope, statement=True)
+            if value is not None:
+                scope["ans"] = value
+                if stmt.display:
+                    self._display("ans", value)
+        elif isinstance(stmt, ast.If):
+            for cond, body in stmt.branches:
+                if self._eval(cond, scope).is_true():
+                    self._exec_block(body, scope)
+                    return
+            self._exec_block(stmt.orelse, scope)
+        elif isinstance(stmt, ast.While):
+            while self._eval(stmt.condition, scope).is_true():
+                try:
+                    self._exec_block(stmt.body, scope)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.For):
+            iterable = self._eval(stmt.iterable, scope)
+            for value in iterable.flat():
+                scope[stmt.var] = MArray.from_scalar(complex(value))
+                try:
+                    self._exec_block(stmt.body, scope)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal()
+        else:
+            raise InterpreterError(
+                f"unsupported statement {type(stmt).__name__}"
+            )
+
+    def _display(self, name: str, value: MArray) -> None:
+        self.ctx.write(f"{name} =\n")
+        call_builtin(self.ctx, "disp", [value])
+
+    def _exec_assign(self, stmt: ast.Assign, scope) -> None:
+        value = self._eval(stmt.value, scope)
+        target = stmt.target
+        if isinstance(target, ast.Ident):
+            scope[target.name] = value
+            self._tick(
+                self.costs.interp_name_lookup,
+                heap_delta=value.byte_size(),
+            )
+            if stmt.display:
+                self._display(target.name, value)
+            return
+        assert isinstance(target, ast.Apply)
+        assert isinstance(target.func, ast.Ident)
+        name = target.func.name
+        base = scope.get(name, MArray.empty())
+        subs = self._eval_subscripts(target.args, base, scope)
+        updated = subsasgn(base, value, subs)
+        scope[name] = updated
+        self._tick(
+            self.costs.library_call,
+            heap_delta=updated.byte_size() - base.byte_size(),
+        )
+        if stmt.display:
+            self._display(name, updated)
+
+    def _exec_multi_assign(self, stmt: ast.MultiAssign, scope) -> None:
+        value = stmt.value
+        assert isinstance(value, ast.Apply)
+        assert isinstance(value.func, ast.Ident)
+        fname = value.func.name
+        args = [self._eval(a, scope) for a in value.args]
+        nargout = len(stmt.targets)
+        if fname in self.program.functions:
+            results = self._call_user(fname, args, nargout)
+        else:
+            results = call_builtin(self.ctx, fname, args, nargout)
+        self._tick(self.costs.library_call * max(1, nargout))
+        for target, result in zip(stmt.targets, results):
+            assert isinstance(target, ast.Ident)
+            scope[target.name] = result
+            if stmt.display:
+                self._display(target.name, result)
+
+    # -- expressions ----------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, scope, statement: bool = False):
+        self._tick(self.costs.interp_dispatch * 0.1)
+        if isinstance(expr, ast.Num):
+            value = 1j * expr.value if expr.is_imag else expr.value
+            return MArray.from_scalar(value)
+        if isinstance(expr, ast.Str):
+            return MArray.from_string(expr.value)
+        if isinstance(expr, ast.Ident):
+            return self._eval_ident(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand, scope)
+            self._tick(self.costs.library_call + operand.numel)
+            return ops.neg(operand) if expr.op == "-" else ops.not_(operand)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binop(expr, scope)
+        if isinstance(expr, ast.Transpose):
+            operand = self._eval(expr.operand, scope)
+            self._tick(self.costs.library_call + operand.numel)
+            return ops.transpose(operand, expr.conjugate)
+        if isinstance(expr, ast.Range):
+            start = self._eval(expr.start, scope)
+            step = (
+                self._eval(expr.step, scope)
+                if expr.step is not None
+                else MArray.from_scalar(1.0)
+            )
+            stop = self._eval(expr.stop, scope)
+            result = ops.make_range(start, step, stop)
+            self._tick(self.costs.library_call + result.numel)
+            return result
+        if isinstance(expr, ast.MatrixLit):
+            return self._eval_matrix(expr, scope)
+        if isinstance(expr, ast.Apply):
+            return self._eval_apply(expr, scope, statement)
+        raise InterpreterError(
+            f"unsupported expression {type(expr).__name__}"
+        )
+
+    def _eval_ident(self, expr: ast.Ident, scope) -> MArray:
+        name = expr.name
+        self._tick(self.costs.interp_name_lookup)
+        if name in scope:
+            return scope[name]
+        if name in _CONSTANTS:
+            return MArray.from_scalar(_CONSTANTS[name])
+        if name in ("i", "j"):
+            return MArray.from_scalar(1j)
+        if name in self.program.functions:
+            return self._call_user(name, [], 1)[0]
+        if name in BUILTIN_NAMES and name not in CONSTANT_BUILTINS:
+            return call_builtin(self.ctx, name, [], 1)[0]
+        raise MatlabRuntimeError(f"undefined name {name!r}")
+
+    def _eval_binop(self, expr: ast.BinaryOp, scope) -> MArray:
+        if expr.op == "&&":
+            left = self._eval(expr.left, scope)
+            if not left.is_true():
+                return MArray.from_scalar(False)
+            return MArray.from_scalar(self._eval(expr.right, scope).is_true())
+        if expr.op == "||":
+            left = self._eval(expr.left, scope)
+            if left.is_true():
+                return MArray.from_scalar(True)
+            return MArray.from_scalar(self._eval(expr.right, scope).is_true())
+        left = self._eval(expr.left, scope)
+        right = self._eval(expr.right, scope)
+        result = _BINOP_FNS[expr.op](left, right)
+        per_element = 150.0 if expr.op in ("^", ".^") else 1.0
+        self._tick(
+            self.costs.library_call
+            + self.costs.type_check * 2
+            + self.costs.element_op * per_element * result.numel,
+            heap_delta=result.byte_size(),
+        )
+        self._tick(0.0, heap_delta=-result.byte_size() * 0.5)
+        return result
+
+    def _eval_matrix(self, expr: ast.MatrixLit, scope) -> MArray:
+        if not expr.rows:
+            return MArray.empty()
+        rows = []
+        for row in expr.rows:
+            parts = [self._eval(e, scope) for e in row]
+            rows.append(ops.horzcat(parts) if len(parts) > 1 else parts[0])
+        result = ops.vertcat(rows) if len(rows) > 1 else rows[0]
+        self._tick(self.costs.library_call + result.numel)
+        return result
+
+    def _eval_apply(self, expr: ast.Apply, scope, statement: bool):
+        assert isinstance(expr.func, ast.Ident)
+        name = expr.func.name
+        if name in scope:
+            base = scope[name]
+            subs = self._eval_subscripts(expr.args, base, scope)
+            result = subsref(base, subs)
+            self._tick(
+                self.costs.library_call
+                + self.costs.type_check
+                + result.numel,
+                heap_delta=result.byte_size() * 0.5,
+            )
+            return result
+        args = [self._eval(a, scope) for a in expr.args]
+        self._tick(self.costs.library_call + self.costs.type_check)
+        if name in self.program.functions:
+            results = self._call_user(name, args, 1)
+            return results[0] if results else None
+        if name in BUILTIN_NAMES:
+            results = call_builtin(self.ctx, name, args, 1)
+            result = results[0] if results else None
+            elems = max(
+                (a.numel for a in args), default=1
+            )
+            if result is not None:
+                elems = max(elems, result.numel)
+            per_element = 150.0 if name in _TRANSCENDENTALS else 1.0
+            self._tick(
+                self.costs.element_op * per_element * elems,
+                heap_delta=(result.byte_size() if result is not None else 0),
+            )
+            return result
+        raise MatlabRuntimeError(f"unknown function {name!r}")
+
+    def _eval_subscripts(self, arg_exprs, base: MArray, scope) -> list:
+        subs = []
+        count = len(arg_exprs)
+        for position, arg in enumerate(arg_exprs, start=1):
+            if isinstance(arg, ast.ColonAll):
+                subs.append(COLON)
+            else:
+                subs.append(
+                    self._eval_with_end(arg, base, position, count, scope)
+                )
+        return subs
+
+    def _eval_with_end(self, expr, base, position, count, scope):
+        """Evaluate a subscript, resolving `end` against the base."""
+        if isinstance(expr, ast.EndMarker):
+            if count == 1:
+                return MArray.from_scalar(base.numel)
+            shape = base.shape
+            extent = shape[position - 1] if position <= len(shape) else 1
+            return MArray.from_scalar(extent)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval_with_end(
+                expr.left, base, position, count, scope
+            )
+            right = self._eval_with_end(
+                expr.right, base, position, count, scope
+            )
+            return _BINOP_FNS[expr.op](left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval_with_end(
+                expr.operand, base, position, count, scope
+            )
+            return ops.neg(operand) if expr.op == "-" else ops.not_(operand)
+        if isinstance(expr, ast.Range):
+            start = self._eval_with_end(
+                expr.start, base, position, count, scope
+            )
+            step = (
+                self._eval_with_end(expr.step, base, position, count, scope)
+                if expr.step is not None
+                else MArray.from_scalar(1.0)
+            )
+            stop = self._eval_with_end(
+                expr.stop, base, position, count, scope
+            )
+            return ops.make_range(start, step, stop)
+        return self._eval(expr, scope)
+
+
+def interpret(
+    program: ast.Program,
+    ctx: RuntimeContext | None = None,
+    max_steps: int = 20_000_000,
+) -> InterpResult:
+    """Run a parsed program under the tree-walking interpreter."""
+    return Interpreter(program, ctx, max_steps=max_steps).run()

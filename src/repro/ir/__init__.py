@@ -1,0 +1,48 @@
+"""SO-form IR: instructions, CFG, lowering, dominance."""
+
+from repro.ir.cfg import Block, IRError, IRFunction, remove_unreachable_blocks
+from repro.ir.dominance import DominatorInfo, compute_dominators
+from repro.ir.instr import (
+    AST_BINOP_TO_IR,
+    BINARY_OPS,
+    Branch,
+    Const,
+    ELEMENTWISE_BINARY,
+    ELEMENTWISE_UNARY,
+    Instr,
+    Jump,
+    MATRIX_BINARY,
+    Operand,
+    PERMUTING_UNARY,
+    Ret,
+    StrConst,
+    Terminator,
+    Var,
+)
+from repro.ir.lower import LoweringError, lower_program
+
+__all__ = [
+    "Block",
+    "IRError",
+    "IRFunction",
+    "remove_unreachable_blocks",
+    "DominatorInfo",
+    "compute_dominators",
+    "AST_BINOP_TO_IR",
+    "BINARY_OPS",
+    "Branch",
+    "Const",
+    "ELEMENTWISE_BINARY",
+    "ELEMENTWISE_UNARY",
+    "Instr",
+    "Jump",
+    "MATRIX_BINARY",
+    "Operand",
+    "PERMUTING_UNARY",
+    "Ret",
+    "StrConst",
+    "Terminator",
+    "Var",
+    "LoweringError",
+    "lower_program",
+]

@@ -1,0 +1,88 @@
+"""Dominator tree and dominance frontiers.
+
+Implements Cooper–Harvey–Kennedy's "A Simple, Fast Dominance Algorithm":
+iterative immediate-dominator computation over reverse postorder, then
+the standard dominance-frontier pass used for SSA φ placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import IRFunction
+
+
+@dataclass(slots=True)
+class DominatorInfo:
+    """Immediate dominators, dominator tree children, and frontiers."""
+
+    idom: dict[int, int | None]
+    children: dict[int, list[int]]
+    frontier: dict[int, set[int]]
+    order: list[int]  # reverse postorder of reachable blocks
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexively)."""
+        node: int | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom[node]
+        return False
+
+
+def compute_dominators(func: IRFunction) -> DominatorInfo:
+    order = func.block_order()
+    index = {bid: i for i, bid in enumerate(order)}
+    preds = func.predecessors()
+
+    idom: dict[int, int | None] = {bid: None for bid in order}
+    idom[func.entry] = func.entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == func.entry:
+                continue
+            candidates = [
+                p for p in preds[bid] if p in index and idom[p] is not None
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom[bid] != new_idom:
+                idom[bid] = new_idom
+                changed = True
+
+    idom[func.entry] = None  # root has no immediate dominator
+
+    children: dict[int, list[int]] = {bid: [] for bid in order}
+    for bid in order:
+        parent = idom[bid]
+        if parent is not None:
+            children[parent].append(bid)
+
+    frontier: dict[int, set[int]] = {bid: set() for bid in order}
+    for bid in order:
+        blocked_preds = [p for p in preds[bid] if p in index]
+        if len(blocked_preds) >= 2:
+            for p in blocked_preds:
+                runner: int | None = p
+                while runner is not None and runner != idom[bid]:
+                    frontier[runner].add(bid)
+                    runner = idom[runner]
+
+    return DominatorInfo(
+        idom=idom, children=children, frontier=frontier, order=order
+    )

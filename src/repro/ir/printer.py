@@ -1,0 +1,46 @@
+"""IR pretty-printing with optional type and allocation annotations.
+
+``format_function`` renders the textual form used throughout the test
+suite's golden expectations; with a type environment it annotates each
+definition with its inferred type, and with an allocation plan it adds
+the storage group and the §3.2.2 resize superscripts.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.ir.cfg import IRFunction
+
+
+def format_function(
+    func: IRFunction,
+    env=None,
+    plan=None,
+) -> str:
+    from repro.compiler.reports import RESIZE_SYMBOL
+
+    out = StringIO()
+    out.write(
+        f"function [{', '.join(func.returns)}] = "
+        f"{func.name}({', '.join(func.params)})\n"
+    )
+    for bid in sorted(func.blocks):
+        block = func.blocks[bid]
+        out.write(f"B{bid}:\n")
+        for instr in block.instrs:
+            line = f"  {instr}"
+            notes = []
+            for res in instr.results:
+                if env is not None:
+                    notes.append(str(env.of(res)))
+                if plan is not None and res in plan.group_of:
+                    mark = plan.resize_marks.get(res)
+                    symbol = RESIZE_SYMBOL.get(mark, "") if mark else ""
+                    notes.append(f"g{plan.group_of[res]}{symbol}")
+            if notes:
+                line = f"{line:<48s} ; {' '.join(notes)}"
+            out.write(line + "\n")
+        if block.terminator is not None:
+            out.write(f"  {block.terminator}\n")
+    return out.getvalue()

@@ -1,0 +1,19 @@
+"""Page-granular memory simulator: heap, stack, metering, cost model."""
+
+from repro.memsim.costs import CLOCK_HZ, CostModel, DEFAULT_COSTS
+from repro.memsim.heap import PAGE_SIZE, HeapModel, SimulationError
+from repro.memsim.meter import MemoryMeter, MemoryReport
+from repro.memsim.stack import INITIAL_STACK_BYTES, StackModel
+
+__all__ = [
+    "CLOCK_HZ",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "PAGE_SIZE",
+    "HeapModel",
+    "SimulationError",
+    "MemoryMeter",
+    "MemoryReport",
+    "INITIAL_STACK_BYTES",
+    "StackModel",
+]

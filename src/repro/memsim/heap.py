@@ -1,0 +1,114 @@
+"""A first-fit free-list heap model.
+
+Addresses are byte offsets into a simulated heap segment that grows in
+8 KB pages and, like a classic Unix ``brk`` heap, never shrinks — the
+segment's high watermark is what the virtual-memory size reports.
+Resident-set accounting marks pages on first touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAGE_SIZE = 8192
+_ALIGN = 8
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+@dataclass(slots=True)
+class _FreeBlock:
+    addr: int
+    size: int
+
+
+@dataclass(slots=True)
+class HeapModel:
+    free_list: list[_FreeBlock] = field(default_factory=list)
+    allocations: dict[int, int] = field(default_factory=dict)  # addr→size
+    brk: int = 0                 # segment high watermark (bytes)
+    live_bytes: int = 0
+    touched_pages: set[int] = field(default_factory=set)
+    malloc_count: int = 0
+    free_count: int = 0
+
+    def malloc(self, size: int) -> int:
+        size = max(_ALIGN, (size + _ALIGN - 1) // _ALIGN * _ALIGN)
+        self.malloc_count += 1
+        for i, block in enumerate(self.free_list):
+            if block.size >= size:
+                addr = block.addr
+                if block.size > size:
+                    self.free_list[i] = _FreeBlock(
+                        block.addr + size, block.size - size
+                    )
+                else:
+                    self.free_list.pop(i)
+                self.allocations[addr] = size
+                self.live_bytes += size
+                self._touch(addr, size)
+                return addr
+        addr = self.brk
+        self.brk += size
+        self.allocations[addr] = size
+        self.live_bytes += size
+        self._touch(addr, size)
+        return addr
+
+    def free(self, addr: int) -> None:
+        size = self.allocations.pop(addr, None)
+        if size is None:
+            raise SimulationError(f"free of unallocated address {addr}")
+        self.free_count += 1
+        self.live_bytes -= size
+        self._insert_free(_FreeBlock(addr, size))
+
+    def realloc(self, addr: int, new_size: int) -> tuple[int, int]:
+        """Returns (new_addr, pages_newly_touched_estimate)."""
+        old = self.allocations.get(addr)
+        if old is None:
+            raise SimulationError(f"realloc of unallocated address {addr}")
+        if new_size <= old:
+            return addr, 0
+        before = len(self.touched_pages)
+        self.free(addr)
+        new_addr = self.malloc(new_size)
+        return new_addr, len(self.touched_pages) - before
+
+    def _insert_free(self, block: _FreeBlock) -> None:
+        # keep sorted by address and merge adjacent blocks
+        self.free_list.append(block)
+        self.free_list.sort(key=lambda b: b.addr)
+        merged: list[_FreeBlock] = []
+        for b in self.free_list:
+            if merged and merged[-1].addr + merged[-1].size == b.addr:
+                merged[-1] = _FreeBlock(
+                    merged[-1].addr, merged[-1].size + b.size
+                )
+            else:
+                merged.append(b)
+        self.free_list = merged
+
+    def _touch(self, addr: int, size: int) -> int:
+        first = addr // PAGE_SIZE
+        last = (addr + max(size, 1) - 1) // PAGE_SIZE
+        before = len(self.touched_pages)
+        self.touched_pages.update(range(first, last + 1))
+        return len(self.touched_pages) - before
+
+    def touch_bytes(self, addr: int, size: int) -> int:
+        """Public touch (e.g. writing into an existing allocation)."""
+        return self._touch(addr, size)
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def segment_bytes(self) -> int:
+        """Heap segment size: brk rounded up to whole pages."""
+        return (self.brk + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self.touched_pages) * PAGE_SIZE

@@ -1,0 +1,15 @@
+"""Run-time error types shared by the interpreter and both executors."""
+
+from repro.frontend.source import MatlabError
+
+
+class MatlabRuntimeError(MatlabError):
+    """A MATLAB semantic error raised during execution."""
+
+
+class ShapeConformanceError(MatlabRuntimeError):
+    """Operand shapes do not conform for the attempted operation."""
+
+
+class IndexError_(MatlabRuntimeError):
+    """Out-of-range or malformed subscript."""

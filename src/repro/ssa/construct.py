@@ -1,0 +1,175 @@
+"""SSA construction (Cytron et al., with the semi-pruned refinement).
+
+φ-functions are placed at the iterated dominance frontier of each
+variable's definition blocks, restricted to *global* names (names live
+across block boundaries) so single-block temporaries — which SO-form
+lowering produces in large numbers — don't generate junk φs.
+
+SSA names use the ``base#version`` scheme; ``#`` cannot occur in MATLAB
+identifiers, so SSA names can never collide with source names.  Uses
+reached by no definition (a run-time error in MATLAB) are given an
+explicit ``undef`` definition in the entry block so that every later
+pass can assume def-before-use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.cfg import IRFunction
+from repro.ir.dominance import DominatorInfo, compute_dominators
+from repro.ir.instr import Branch, Instr, Var
+
+
+def base_name(ssa_name: str) -> str:
+    """Strip the SSA version: ``x#3`` → ``x``."""
+    return ssa_name.split("#", 1)[0]
+
+
+def _global_names(func: IRFunction) -> tuple[set[str], dict[str, set[int]]]:
+    """Names used in a block before any local def, plus def-site blocks."""
+    globals_: set[str] = set()
+    def_blocks: dict[str, set[int]] = defaultdict(set)
+    for bid in func.block_order():
+        block = func.blocks[bid]
+        killed: set[str] = set()
+        for instr in block.instrs:
+            for used in instr.used_vars():
+                if used not in killed:
+                    globals_.add(used)
+            for res in instr.results:
+                killed.add(res)
+                def_blocks[res].add(bid)
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.condition, Var):
+            if term.condition.name not in killed:
+                globals_.add(term.condition.name)
+    for param in func.params:
+        def_blocks[param].add(func.entry)
+    return globals_, def_blocks
+
+
+class SSABuilder:
+    def __init__(self, func: IRFunction):
+        self._func = func
+        self._dom: DominatorInfo = compute_dominators(func)
+        self._counters: dict[str, int] = defaultdict(int)
+        self._stacks: dict[str, list[str]] = defaultdict(list)
+        self._undef_instrs: list[Instr] = []
+
+    def build(self) -> IRFunction:
+        func = self._func
+        globals_, def_blocks = _global_names(func)
+        preds = func.predecessors()
+
+        # --- φ insertion at iterated dominance frontiers ---
+        for name in sorted(globals_):
+            sites = def_blocks.get(name, set())
+            if not sites:
+                continue  # used but never defined: handled during rename
+            worklist = list(sites)
+            has_phi: set[int] = set()
+            while worklist:
+                bid = worklist.pop()
+                for fb in self._dom.frontier.get(bid, ()):
+                    if fb in has_phi:
+                        continue
+                    has_phi.add(fb)
+                    block = func.blocks[fb]
+                    phi = Instr(
+                        op="phi",
+                        results=[name],
+                        args=[Var(name) for _ in preds[fb]],
+                        phi_blocks=list(preds[fb]),
+                    )
+                    block.instrs.insert(0, phi)
+                    if fb not in sites:
+                        sites.add(fb)
+                        worklist.append(fb)
+
+        # --- renaming over the dominator tree ---
+        for param in func.params:
+            self._stacks[param].append(self._new_version(param))
+        func.params = [self._stacks[p][-1] for p in list(func.params)]
+        self._rename_block(func.entry)
+
+        # Materialize undef definitions in the entry block header.
+        if self._undef_instrs:
+            entry = func.entry_block()
+            insert_at = len(entry.phis())
+            for instr in self._undef_instrs:
+                entry.instrs.insert(insert_at, instr)
+        return func
+
+    # ------------------------------------------------------------------
+
+    def _new_version(self, name: str) -> str:
+        self._counters[name] += 1
+        return f"{name}#{self._counters[name]}"
+
+    def _current(self, name: str) -> str:
+        stack = self._stacks[name]
+        if not stack:
+            # Use before any definition: synthesize an undef def that
+            # sticks for the rest of the function.
+            version = self._new_version(name)
+            stack.append(version)
+            self._undef_instrs.append(
+                Instr(op="undef", results=[version], args=[])
+            )
+        return stack[-1]
+
+    def _rename_block(self, root: int) -> None:
+        """Iterative dominator-tree walk (avoids Python recursion limits)."""
+        stack: list[tuple[int, list[str], int]] = [(root, [], 0)]
+        self._enter_block(root, stack[-1][1])
+        while stack:
+            bid, pushed, child_idx = stack[-1]
+            children = self._dom.children.get(bid, [])
+            if child_idx < len(children):
+                stack[-1] = (bid, pushed, child_idx + 1)
+                child = children[child_idx]
+                frame: tuple[int, list[str], int] = (child, [], 0)
+                stack.append(frame)
+                self._enter_block(child, frame[1])
+            else:
+                for name in pushed:
+                    self._stacks[name].pop()
+                stack.pop()
+
+    def _enter_block(self, bid: int, pushed: list[str]) -> None:
+        func = self._func
+        block = func.blocks[bid]
+
+        for instr in block.instrs:
+            if not instr.is_phi:
+                instr.args = [
+                    Var(self._current(a.name)) if isinstance(a, Var) else a
+                    for a in instr.args
+                ]
+            new_results = []
+            for res in instr.results:
+                version = self._new_version(res)
+                self._stacks[res].append(version)
+                pushed.append(res)
+                new_results.append(version)
+            instr.results = new_results
+
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.condition, Var):
+            term.condition = Var(self._current(term.condition.name))
+
+        # Fill φ operands in successors for the edge from this block.
+        for succ in block.successors():
+            for phi in func.blocks[succ].phis():
+                assert phi.phi_blocks is not None
+                for i, pred in enumerate(phi.phi_blocks):
+                    if pred == bid:
+                        arg = phi.args[i]
+                        if isinstance(arg, Var) and "#" not in arg.name:
+                            phi.args[i] = Var(self._current(arg.name))
+
+
+def construct_ssa(func: IRFunction) -> IRFunction:
+    """Convert ``func`` to SSA form in place (returns it for chaining)."""
+    return SSABuilder(func).build()

@@ -1,0 +1,78 @@
+"""SSA well-formedness checks used by the test suite and pass manager."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import IRError, IRFunction
+from repro.ir.dominance import compute_dominators
+from repro.ir.instr import Branch, Var
+
+
+def verify_ssa(func: IRFunction) -> None:
+    """Raise :class:`IRError` if ``func`` is not in valid SSA form.
+
+    Checks: single definition per name; every φ has one operand per
+    predecessor; every non-φ use is dominated by its definition; φ
+    operands are defined on (i.e. dominate the end of) their incoming
+    edge's predecessor.
+    """
+    func.verify()
+    dom = compute_dominators(func)
+    preds = func.predecessors()
+
+    # Single definition; record def sites.
+    def_site: dict[str, tuple[int, int]] = {}
+    for param in func.params:
+        def_site[param] = (func.entry, -1)
+    for bid in dom.order:
+        for pos, instr in enumerate(func.blocks[bid].instrs):
+            for res in instr.results:
+                if res in def_site:
+                    raise IRError(f"SSA: {res} defined more than once")
+                def_site[res] = (bid, pos)
+
+    def check_use(name: str, use_block: int, use_pos: int) -> None:
+        if name not in def_site:
+            raise IRError(f"SSA: use of undefined name {name}")
+        def_block, def_pos = def_site[name]
+        if def_block == use_block:
+            if def_pos >= use_pos:
+                raise IRError(
+                    f"SSA: {name} used at B{use_block}:{use_pos} before "
+                    f"its definition at position {def_pos}"
+                )
+        elif not dom.dominates(def_block, use_block):
+            raise IRError(
+                f"SSA: definition of {name} (B{def_block}) does not "
+                f"dominate its use (B{use_block})"
+            )
+
+    for bid in dom.order:
+        block = func.blocks[bid]
+        for pos, instr in enumerate(block.instrs):
+            if instr.is_phi:
+                assert instr.phi_blocks is not None
+                if sorted(instr.phi_blocks) != sorted(preds[bid]):
+                    raise IRError(
+                        f"SSA: φ in B{bid} operands {instr.phi_blocks} do "
+                        f"not match predecessors {preds[bid]}"
+                    )
+                for arg, pred in zip(instr.args, instr.phi_blocks):
+                    if isinstance(arg, Var):
+                        if arg.name not in def_site:
+                            raise IRError(
+                                f"SSA: φ operand {arg.name} undefined"
+                            )
+                        def_block, _ = def_site[arg.name]
+                        if not dom.dominates(def_block, pred):
+                            raise IRError(
+                                f"SSA: φ operand {arg.name} (def in "
+                                f"B{def_block}) not available on edge "
+                                f"B{pred}→B{bid}"
+                            )
+            else:
+                for arg in instr.args:
+                    if isinstance(arg, Var):
+                        check_use(arg.name, bid, pos)
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.condition, Var):
+            check_use(term.condition.name, bid, len(block.instrs))

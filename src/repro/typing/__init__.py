@@ -1,0 +1,65 @@
+"""MAGICA-style type, shape, and value-range inference."""
+
+from repro.typing.infer import (
+    TypeEnvironment,
+    TypeInference,
+    elementwise_shape,
+    infer_types,
+    type_of_literal,
+)
+from repro.typing.intrinsic import (
+    Intrinsic,
+    STORAGE_SIZE,
+    arithmetic_result,
+    comparison_result,
+    division_result,
+    intrinsic_of_literal,
+    scalar_size,
+)
+from repro.typing.ranges import Interval
+from repro.typing.shape import (
+    ConstDim,
+    Dim,
+    FreshDim,
+    OpDim,
+    Shape,
+    ValueDim,
+    dim_add,
+    dim_le,
+    dim_max,
+    dim_mul,
+    dim_rangelen,
+    fresh_dim,
+)
+from repro.typing.shapefold import fold_shape_queries
+from repro.typing.types import VarType
+
+__all__ = [
+    "TypeEnvironment",
+    "TypeInference",
+    "elementwise_shape",
+    "infer_types",
+    "type_of_literal",
+    "Intrinsic",
+    "STORAGE_SIZE",
+    "arithmetic_result",
+    "comparison_result",
+    "division_result",
+    "intrinsic_of_literal",
+    "scalar_size",
+    "Interval",
+    "ConstDim",
+    "Dim",
+    "FreshDim",
+    "OpDim",
+    "Shape",
+    "ValueDim",
+    "dim_add",
+    "dim_le",
+    "dim_max",
+    "dim_mul",
+    "dim_rangelen",
+    "fresh_dim",
+    "fold_shape_queries",
+    "VarType",
+]

@@ -1,0 +1,57 @@
+"""Shape-driven folding: materialize statically-known ``size``/``numel``.
+
+After inference, a ``size(a, k)`` or ``numel(a)`` whose answer the shape
+engine knows exactly is rewritten to a constant.  Re-running the scalar
+cleanup pipeline afterwards lets those constants flow into array
+constructors, which frequently upgrades more shapes from symbolic to
+static — so the compiler driver alternates inference and folding until
+quiescent (MAGICA's reuse of inferences plays the same role [18]).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Const, Instr
+from repro.typing.infer import TypeEnvironment
+
+
+def fold_shape_queries(func: IRFunction, env: TypeEnvironment) -> int:
+    """Rewrite size/numel/length/ndims with static answers to consts."""
+    folded = 0
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if len(instr.results) != 1:
+                continue
+            value = _static_answer(instr, env)
+            if value is not None:
+                instr.op = "const"
+                instr.args = [Const(complex(value))]
+                folded += 1
+    return folded
+
+
+def _static_answer(instr: Instr, env: TypeEnvironment) -> float | None:
+    if not instr.is_call or not instr.args:
+        return None
+    name = instr.callee
+    if name not in ("size", "numel", "length", "ndims"):
+        return None
+    base = env.of_operand(instr.args[0])
+    shape = base.shape
+    if not shape.exact or not shape.is_static:
+        return None
+    extents = [d.value for d in shape.dims]  # type: ignore[union-attr]
+    if name == "numel":
+        n = 1
+        for e in extents:
+            n *= e
+        return float(n)
+    if name == "length":
+        return float(max(extents) if min(extents) > 0 else 0)
+    if name == "ndims":
+        return float(len(extents)) if shape.rank_exact else None
+    # size with an explicit constant dim argument
+    if len(instr.args) >= 2 and isinstance(instr.args[1], Const):
+        k = int(instr.args[1].value.real)
+        return float(extents[k - 1]) if 1 <= k <= len(extents) else 1.0
+    return None

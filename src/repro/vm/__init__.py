@@ -1,0 +1,13 @@
+"""mat2c execution model: runs GCTD-allocated IR on the memory simulator."""
+
+from repro.vm.base import BaseIRExecutor, ExecutionLimitExceeded, ExecutionResult
+from repro.vm.executor import Mat2CExecutor
+from repro.vm.work import computation_work
+
+__all__ = [
+    "BaseIRExecutor",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Mat2CExecutor",
+    "computation_work",
+]

@@ -1,0 +1,226 @@
+"""Shared IR execution engine.
+
+Both executors — the mat2c model (GCTD-allocated storage) and the mcc
+model (everything a heap ``mxArray``) — run the same SSA-inverted IR
+through this engine, so their *semantics* are identical by
+construction and only their storage/cost accounting differs (the
+subclass hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.source import MatlabError
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import (
+    Branch,
+    Const,
+    Instr,
+    Jump,
+    Operand,
+    Ret,
+    StrConst,
+    Var,
+)
+from repro.memsim.costs import CostModel, DEFAULT_COSTS
+from repro.memsim.meter import MemoryReport
+from repro.runtime import ops
+from repro.runtime.builtins import RuntimeContext, call_builtin
+from repro.runtime.errors import MatlabRuntimeError
+from repro.runtime.indexing import COLON, subsasgn, subsref
+from repro.runtime.marray import MArray
+
+
+class ExecutionLimitExceeded(MatlabError):
+    pass
+
+
+@dataclass(slots=True)
+class ExecutionResult:
+    output: str
+    report: MemoryReport
+    steps: int
+    env: dict[str, MArray] = field(default_factory=dict)
+
+
+_BINOPS = {
+    "add": ops.add,
+    "sub": ops.sub,
+    "elmul": ops.elmul,
+    "eldiv": ops.eldiv,
+    "elldiv": ops.elldiv,
+    "elpow": ops.elpow,
+    "mul": ops.mul,
+    "div": ops.div,
+    "ldiv": ops.ldiv,
+    "pow": ops.pow_,
+    "lt": ops.lt,
+    "le": ops.le,
+    "gt": ops.gt,
+    "ge": ops.ge,
+    "eq": ops.eq,
+    "ne": ops.ne,
+    "and": ops.and_,
+    "or": ops.or_,
+}
+
+
+class BaseIRExecutor:
+    """Executes non-SSA IR; subclasses implement the accounting hooks."""
+
+    def __init__(
+        self,
+        func: IRFunction,
+        ctx: RuntimeContext | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        max_steps: int = 20_000_000,
+    ) -> None:
+        self.func = func
+        self.ctx = ctx or RuntimeContext()
+        self.costs = costs
+        self.max_steps = max_steps
+        self.env: dict[str, MArray] = {}
+        self.clock = 0.0
+        self.steps = 0
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def on_start(self) -> None: ...
+
+    def on_finish(self) -> None: ...
+
+    def account(
+        self, instr: Instr, args: list, results: list[MArray]
+    ) -> None:
+        """Charge cycles and update memory models for one instruction."""
+
+    def on_block_end(self, block_id: int) -> None: ...
+
+    def build_report(self) -> MemoryReport:
+        return MemoryReport()
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        self.on_start()
+        block_id = self.func.entry
+        while True:
+            block = self.func.blocks[block_id]
+            for instr in block.instrs:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {self.max_steps} executed instructions"
+                    )
+                self._execute(instr)
+            self.on_block_end(block_id)
+            # count the control transfer too: an empty loop (all body
+            # instructions dead-coded away) must still hit the limit
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_steps} executed instructions"
+                )
+            term = block.terminator
+            if isinstance(term, Ret):
+                break
+            if isinstance(term, Jump):
+                block_id = term.target
+            elif isinstance(term, Branch):
+                cond = self._operand_value(term.condition)
+                self.clock += self.costs.branch
+                block_id = (
+                    term.true_target if cond.is_true() else term.false_target
+                )
+            else:
+                raise MatlabRuntimeError("block without terminator")
+        self.on_finish()
+        return ExecutionResult(
+            output=self.ctx.captured(),
+            report=self.build_report(),
+            steps=self.steps,
+            env=self.env,
+        )
+
+    # -- evaluation ----------------------------------------------------
+
+    def _operand_value(self, operand: Operand) -> MArray:
+        if isinstance(operand, Var):
+            try:
+                return self.env[operand.name]
+            except KeyError:
+                raise MatlabRuntimeError(
+                    f"use of undefined variable {operand.name!r}"
+                ) from None
+        if isinstance(operand, Const):
+            return MArray.from_scalar(operand.value)
+        return MArray.from_string(operand.value)
+
+    def _execute(self, instr: Instr) -> None:
+        op = instr.op
+        if op == "display":
+            value = self._operand_value(instr.args[0])
+            label = instr.args[1].value  # type: ignore[union-attr]
+            self.ctx.write(f"{label} =\n")
+            call_builtin(self.ctx, "disp", [value])
+            self.account(instr, [value], [])
+            return
+        args: list = []
+        for operand in instr.args:
+            if isinstance(operand, StrConst) and operand.value == ":" and (
+                op in ("subsref", "subsasgn")
+            ):
+                args.append(COLON)
+            else:
+                args.append(self._operand_value(operand))
+        results = self._evaluate(instr, args)
+        for name, value in zip(instr.results, results):
+            self.define(name, value, instr)
+        self.account(instr, args, results)
+
+    def define(self, name: str, value: MArray, instr: Instr) -> None:
+        self.env[name] = value
+
+    def _evaluate(self, instr: Instr, args: list) -> list[MArray]:
+        op = instr.op
+        if op in _BINOPS:
+            return [_BINOPS[op](args[0], args[1])]
+        if op in ("const", "copy"):
+            return [args[0]]
+        if op == "neg":
+            return [ops.neg(args[0])]
+        if op == "not":
+            return [ops.not_(args[0])]
+        if op == "transpose":
+            return [ops.transpose(args[0], conjugate=False)]
+        if op == "ctranspose":
+            return [ops.transpose(args[0], conjugate=True)]
+        if op == "range":
+            return [ops.make_range(args[0], args[1], args[2])]
+        if op == "forindex":
+            # start + counter*step (bounds args[2] carried for analysis)
+            value = (
+                args[0].scalar() + args[3].scalar() * args[1].scalar()
+            )
+            return [MArray.from_scalar(value)]
+        if op == "subsref":
+            return [subsref(args[0], args[1:])]
+        if op == "subsasgn":
+            return [subsasgn(args[0], args[1], args[2:])]
+        if op == "horzcat":
+            return [ops.horzcat(args)]
+        if op == "vertcat":
+            return [ops.vertcat(args)]
+        if op == "empty":
+            return [MArray.empty()]
+        if op == "undef":
+            return [MArray.empty()]
+        if instr.is_call:
+            return call_builtin(
+                self.ctx,
+                instr.callee,
+                args,
+                nargout=max(1, len(instr.results)),
+            )
+        raise MatlabRuntimeError(f"unsupported IR op {op!r}")

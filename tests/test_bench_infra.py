@@ -1,0 +1,61 @@
+"""Tests for the benchmark infrastructure (suite registry, formatting)."""
+
+from repro.bench.experiments import format_rows
+from repro.bench.suite import (
+    BENCHMARK_NAMES,
+    SUITE,
+    count_lines,
+    load_sources,
+)
+
+
+class TestSuiteRegistry:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 11
+        assert set(BENCHMARK_NAMES) == set(SUITE)
+
+    def test_paper_metadata_present(self):
+        for info in SUITE.values():
+            assert info.synopsis
+            assert info.origin
+            assert info.paper_speedup >= 1.0
+
+    def test_paper_table2_rows_recorded(self):
+        # the paper's s/d column, used for shape comparisons
+        assert SUITE["adpt"].paper_reduction == (127, 74)
+        assert SUITE["fiff"].paper_reduction == (51, 0)
+        assert SUITE["fiff"].paper_storage_kb == 12712.92
+
+    def test_sources_have_driver_convention(self):
+        for name in BENCHMARK_NAMES:
+            sources = load_sources(name)
+            driver = sources[f"{name}_drv.m"]
+            assert f"function {name}_drv()" in driver
+
+    def test_count_lines_skips_comments_and_blanks(self):
+        text = "% comment\n\nx = 1;\n  % indented comment\ny = 2;\n"
+        assert count_lines({"f.m": text}) == 2
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 23},
+        ]
+        text = format_rows("Title", rows)
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no data)" in format_rows("Empty", [])
+
+    def test_md_table(self):
+        from benchmarks.generate_report import md_table
+
+        rows = [{"x": 1, "y": "two"}]
+        text = md_table(rows)
+        assert text.splitlines()[0] == "| x | y |"
+        assert "| 1 | two |" in text

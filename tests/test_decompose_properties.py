@@ -1,0 +1,96 @@
+"""Property-based tests for Phase 2's decomposition invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decompose import decompose_color_class
+from repro.core.storage_order import StorageOrder
+from repro.typing.intrinsic import Intrinsic
+from repro.typing.ranges import Interval
+from repro.typing.shape import Shape
+from repro.typing.types import VarType
+
+
+class _Env:
+    def __init__(self, table):
+        self.table = table
+
+    def of(self, name):
+        return self.table[name]
+
+
+class _NoAvail:
+    def available_at_definition_of(self, u, v):
+        return u == v
+
+
+var_specs = st.lists(
+    st.tuples(
+        st.sampled_from([Intrinsic.REAL, Intrinsic.BOOLEAN,
+                         Intrinsic.INTEGER]),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build(specs):
+    table = {}
+    for i, (intrinsic, r, c) in enumerate(specs):
+        table[f"v{i}"] = VarType(
+            intrinsic, Shape.matrix(r, c), Interval.top()
+        )
+    order = StorageOrder(env=_Env(table), availability=_NoAvail())
+    return list(table), table, order
+
+
+class TestDecomposeInvariants:
+    @given(var_specs)
+    def test_groups_partition_the_class(self, specs):
+        names, table, order = build(specs)
+        groups = decompose_color_class(names, order)
+        members = [m for g in groups for m in g.members]
+        assert sorted(members) == sorted(names)
+
+    @given(var_specs)
+    def test_group_root_bounds_members(self, specs):
+        names, table, order = build(specs)
+        for group in decompose_color_class(names, order):
+            root_size = table[group.root].static_storage_size()
+            for member in group.members:
+                # the root must be a ⪯-upper bound via reachability:
+                # at minimum, no member of the same intrinsic exceeds it
+                member_type = table[member]
+                if member_type.intrinsic == table[group.root].intrinsic:
+                    assert (
+                        member_type.static_storage_size() <= root_size
+                    )
+
+    @given(var_specs)
+    def test_groups_are_intrinsic_homogeneous(self, specs):
+        # ⪯ never relates different intrinsics, so every group is
+        # type-pure (the paper's no-casting/no-alignment design choice)
+        names, table, order = build(specs)
+        for group in decompose_color_class(names, order):
+            kinds = {table[m].intrinsic for m in group.members}
+            assert len(kinds) == 1
+
+    @given(var_specs)
+    def test_same_intrinsic_forms_single_group(self, specs):
+        # §3.2.1: all statically-estimable sizes of one intrinsic in a
+        # color class form a chain ⇒ exactly one group per intrinsic
+        names, table, order = build(specs)
+        groups = decompose_color_class(names, order)
+        intrinsics_present = {t.intrinsic for t in table.values()}
+        assert len(groups) == len(intrinsics_present)
+
+    @given(var_specs)
+    def test_deterministic(self, specs):
+        names, table, order = build(specs)
+        a = decompose_color_class(names, order)
+        b = decompose_color_class(names, order)
+        assert [sorted(g.members) for g in a] == [
+            sorted(g.members) for g in b
+        ]

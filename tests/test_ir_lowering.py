@@ -1,0 +1,271 @@
+"""Unit tests for AST → SO-form IR lowering and the CFG."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.ir.cfg import IRFunction
+from repro.ir.instr import Branch, Const, Instr, Jump, Ret, Var
+from repro.ir.lower import LoweringError, lower_program
+
+
+def lower(text, **sources):
+    files = {"main.m": text}
+    for name, src in sources.items():
+        files[f"{name}.m"] = src
+    return lower_program(parse_program(files))
+
+
+def ops(func):
+    return [i.op for i in func.instructions()]
+
+
+class TestSingleOperatorForm:
+    def test_compound_expression_split(self):
+        func = lower("a = 1; b = 2; c = a + b * 3;")
+        # b * 3 must land in a temporary, then be added.
+        muls = [i for i in func.instructions() if i.op == "mul"]
+        assert len(muls) == 1
+        assert muls[0].results[0].endswith("$")
+        adds = [i for i in func.instructions() if i.op == "add"]
+        assert adds[0].results == ["c"]
+
+    def test_every_instr_single_op(self):
+        func = lower("x = (1 + 2) * (3 - 4) / 5;")
+        for instr in func.instructions():
+            assert len(instr.args) <= 3
+
+    def test_copy_statement(self):
+        func = lower("a = 1; b = a;")
+        copies = [i for i in func.instructions() if i.op == "copy"]
+        assert any(i.results == ["b"] for i in copies)
+
+    def test_const_materialization(self):
+        func = lower("x = 42;")
+        consts = [i for i in func.instructions() if i.op == "const"]
+        assert consts[0].results == ["x"]
+        assert consts[0].args[0] == Const(complex(42.0))
+
+    def test_display_emitted_without_semicolon(self):
+        func = lower("x = 1\ny = 2;")
+        displays = [i for i in func.instructions() if i.op == "display"]
+        assert len(displays) == 1
+
+
+class TestIndexingAndCalls:
+    def test_subsref_for_assigned_variable(self):
+        func = lower("a = rand(2, 2); c = a(1);")
+        assert "subsref" in ops(func)
+
+    def test_call_for_builtin(self):
+        func = lower("a = rand(2, 2);")
+        assert "call:rand" in ops(func)
+
+    def test_subsasgn_for_lhs_indexing(self):
+        func = lower("a = zeros(3); a(2, 2) = 5;")
+        sa = next(i for i in func.instructions() if i.op == "subsasgn")
+        assert sa.results == ["a"]
+        # args: base, rhs, subscripts...
+        assert len(sa.args) == 4
+
+    def test_end_in_single_subscript_is_numel(self):
+        func = lower("a = rand(1, 5); x = a(end);")
+        assert "call:numel" in ops(func)
+
+    def test_end_in_multi_subscript_is_size(self):
+        func = lower("a = rand(3, 4); x = a(1, end);")
+        size_calls = [i for i in func.instructions() if i.op == "call:size"]
+        assert len(size_calls) == 1
+        assert size_calls[0].args[1] == Const(complex(2.0))
+
+    def test_multi_output_size(self):
+        func = lower("a = rand(3, 4); [m, n] = size(a);")
+        size_instr = next(
+            i for i in func.instructions() if i.op == "call:size"
+        )
+        assert size_instr.results == ["m", "n"]
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(LoweringError):
+            lower("x = mystery(1);")
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(LoweringError):
+            lower("x = y + 1;")
+
+
+class TestControlFlow:
+    def test_if_creates_branch(self):
+        func = lower("a = 1;\nif a > 0\n b = 1;\nelse\n b = 2;\nend")
+        branches = [
+            b for b in func.blocks.values()
+            if isinstance(b.terminator, Branch)
+        ]
+        assert len(branches) == 1
+
+    def test_while_loop_shape(self):
+        func = lower("i = 0;\nwhile i < 10\n i = i + 1;\nend")
+        func.verify()
+        # must contain a back edge: some block jumps to an earlier block
+        has_back_edge = any(
+            succ <= bid
+            for bid, blk in func.blocks.items()
+            for succ in blk.successors()
+        )
+        assert has_back_edge
+
+    def test_for_loop_counted(self):
+        func = lower("s = 0;\nfor i = 1:10\n s = s + i;\nend")
+        assert "call:floor" in ops(func)
+        func.verify()
+
+    def test_for_loop_with_step(self):
+        func = lower("s = 0;\nfor i = 10:-2:1\n s = s + i;\nend")
+        func.verify()
+
+    def test_break_jumps_to_exit(self):
+        func = lower(
+            "i = 0;\nwhile 1\n i = i + 1;\n if i > 3\n  break\n end\nend"
+        )
+        func.verify()
+
+    def test_continue_in_for_reaches_increment(self):
+        func = lower(
+            "s = 0;\nfor i = 1:10\n if i > 5\n  continue\n end\n"
+            " s = s + i;\nend"
+        )
+        func.verify()
+
+    def test_return_terminates(self):
+        func = lower("x = 1;\nreturn\n")
+        func.verify()
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(LoweringError):
+            lower("break")
+
+
+class TestMatrixLiterals:
+    def test_row_vector(self):
+        func = lower("v = [1, 2, 3];")
+        assert "horzcat" in ops(func)
+
+    def test_matrix_rows(self):
+        func = lower("m = [1, 2; 3, 4];")
+        assert "vertcat" in ops(func)
+
+    def test_empty_matrix(self):
+        func = lower("e = [];")
+        assert "empty" in ops(func)
+
+    def test_range_op(self):
+        func = lower("v = 1:5;")
+        rng = next(i for i in func.instructions() if i.op == "range")
+        assert len(rng.args) == 3
+
+
+class TestInlining:
+    def test_user_function_inlined(self):
+        func = lower(
+            "y = double_it(21);",
+            double_it="function y = double_it(x)\ny = x * 2;\n",
+        )
+        # no call instruction for the user function remains
+        assert not any(i.op == "call:double_it" for i in func.instructions())
+        assert "mul" in ops(func)
+
+    def test_inlined_variables_renamed(self):
+        func = lower(
+            "x = 5; y = addone(x);",
+            addone="function out = addone(x)\nout = x + 1;\n",
+        )
+        names = func.defined_vars()
+        # the callee's `x` must not collide with the caller's `x`
+        assert "x" in names
+        assert any(n.startswith("x@") for n in names)
+
+    def test_nested_inlining(self):
+        func = lower(
+            "y = outer(3);",
+            outer="function y = outer(x)\ny = inner(x) + 1;\n",
+            inner="function y = inner(x)\ny = x * 10;\n",
+        )
+        assert "mul" in ops(func)
+        assert "add" in ops(func)
+
+    def test_multiple_call_sites_unique_names(self):
+        func = lower(
+            "a = f(1); b = f(2);",
+            f="function y = f(x)\ny = x + 1;\n",
+        )
+        renamed = [n for n in func.defined_vars() if n.startswith("y@")]
+        assert len(renamed) == 2
+
+    def test_recursion_rejected(self):
+        with pytest.raises(LoweringError, match="recursive"):
+            lower(
+                "y = f(3);",
+                f="function y = f(x)\ny = f(x - 1);\n",
+            )
+
+    def test_multi_output_user_function(self):
+        func = lower(
+            "[a, b] = two();",
+            two="function [p, q] = two()\np = 1;\nq = 2;\n",
+        )
+        func.verify()
+        copies = [
+            i for i in func.instructions()
+            if i.op == "copy" and i.results[0] in ("a", "b")
+        ]
+        assert len(copies) == 2
+
+    def test_return_inside_inlined_function(self):
+        func = lower(
+            "y = f(3);",
+            f=(
+                "function y = f(x)\n"
+                "y = 0;\n"
+                "if x > 1\n y = 99;\n return\nend\n"
+                "y = x;\n"
+            ),
+        )
+        func.verify()
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        from repro.ir.dominance import compute_dominators
+
+        func = lower(
+            "a = 1;\nif a\n b = 1;\nelse\n b = 2;\nend\nc = b;"
+        )
+        dom = compute_dominators(func)
+        for bid in dom.order:
+            assert dom.dominates(func.entry, bid)
+
+    def test_branch_sides_not_dominating_join(self):
+        from repro.ir.dominance import compute_dominators
+
+        func = lower(
+            "a = 1;\nif a\n b = 1;\nelse\n b = 2;\nend\nc = b;"
+        )
+        dom = compute_dominators(func)
+        branch_block = next(
+            b for b in func.blocks.values() if isinstance(b.terminator, Branch)
+        )
+        then_id, else_id = branch_block.terminator.successors()
+        join_candidates = [
+            bid for bid in dom.order
+            if dom.frontier.get(then_id) and bid in dom.frontier[then_id]
+        ]
+        assert join_candidates, "then-side must have a dominance frontier"
+        join = join_candidates[0]
+        assert not dom.dominates(then_id, join)
+        assert not dom.dominates(else_id, join)
+
+    def test_loop_header_frontier_contains_itself(self):
+        from repro.ir.dominance import compute_dominators
+
+        func = lower("i = 0;\nwhile i < 3\n i = i + 1;\nend")
+        dom = compute_dominators(func)
+        assert any(bid in dom.frontier[bid] for bid in dom.order)

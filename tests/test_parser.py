@@ -1,0 +1,258 @@
+"""Unit tests for the MATLAB parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_program, parse_source
+from repro.frontend.source import MatlabSyntaxError
+
+
+def parse_stmts(text):
+    funcs = parse_source(text, "test.m")
+    assert len(funcs) == 1
+    return funcs[0].body
+
+
+def first_expr(text):
+    stmt = parse_stmts(text)[0]
+    if isinstance(stmt, ast.Assign):
+        return stmt.value
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.value
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = first_expr("x = a + b * c;")
+        assert isinstance(e, ast.BinaryOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.op == "*"
+
+    def test_precedence_pow_over_unary_minus(self):
+        # MATLAB: -2^2 == -4
+        e = first_expr("x = -2^2;")
+        assert isinstance(e, ast.UnaryOp) and e.op == "-"
+        assert isinstance(e.operand, ast.BinaryOp) and e.operand.op == "^"
+
+    def test_power_right_operand_unary(self):
+        e = first_expr("x = 2^-3;")
+        assert isinstance(e, ast.BinaryOp) and e.op == "^"
+        assert isinstance(e.right, ast.UnaryOp)
+
+    def test_comparison_below_arith(self):
+        e = first_expr("x = a + 1 < b * 2;")
+        assert isinstance(e, ast.BinaryOp) and e.op == "<"
+
+    def test_logical_precedence(self):
+        e = first_expr("x = a < b & c > d;")
+        assert isinstance(e, ast.BinaryOp) and e.op == "&"
+
+    def test_range_two_part(self):
+        e = first_expr("x = 1:10;")
+        assert isinstance(e, ast.Range)
+        assert e.step is None
+
+    def test_range_three_part(self):
+        e = first_expr("x = 10:-2:1;")
+        assert isinstance(e, ast.Range)
+        assert isinstance(e.step, ast.UnaryOp)
+        assert isinstance(e.stop, ast.Num) and e.stop.value == 1
+
+    def test_range_with_arith_bounds(self):
+        e = first_expr("x = a+1:b-1;")
+        assert isinstance(e, ast.Range)
+        assert isinstance(e.start, ast.BinaryOp)
+        assert isinstance(e.stop, ast.BinaryOp)
+
+    def test_transpose_postfix(self):
+        e = first_expr("x = a';")
+        assert isinstance(e, ast.Transpose) and e.conjugate
+
+    def test_nonconj_transpose(self):
+        e = first_expr("x = a.';")
+        assert isinstance(e, ast.Transpose) and not e.conjugate
+
+    def test_call_and_index_are_apply(self):
+        e = first_expr("x = f(a, b);")
+        assert isinstance(e, ast.Apply)
+        assert len(e.args) == 2
+
+    def test_nested_apply(self):
+        e = first_expr("x = a(f(i), j);")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.args[0], ast.Apply)
+
+    def test_colon_all_subscript(self):
+        e = first_expr("x = a(:, 2);")
+        assert isinstance(e.args[0], ast.ColonAll)
+
+    def test_end_in_subscript(self):
+        e = first_expr("x = a(end);")
+        assert isinstance(e.args[0], ast.EndMarker)
+
+    def test_end_arith_in_subscript(self):
+        e = first_expr("x = a(end-1);")
+        arg = e.args[0]
+        assert isinstance(arg, ast.BinaryOp)
+        assert isinstance(arg.left, ast.EndMarker)
+
+    def test_end_outside_subscript_raises(self):
+        with pytest.raises(MatlabSyntaxError):
+            parse_stmts("x = end;")
+
+    def test_string_literal(self):
+        e = first_expr("disp('hello world');")
+        assert isinstance(e.args[0], ast.Str)
+
+
+class TestMatrixLiterals:
+    def test_comma_separated(self):
+        e = first_expr("x = [1, 2, 3];")
+        assert isinstance(e, ast.MatrixLit)
+        assert len(e.rows) == 1 and len(e.rows[0]) == 3
+
+    def test_space_separated(self):
+        e = first_expr("x = [1 2 3];")
+        assert len(e.rows[0]) == 3
+
+    def test_semicolon_rows(self):
+        e = first_expr("x = [1, 2; 3, 4];")
+        assert len(e.rows) == 2
+
+    def test_space_minus_is_new_element(self):
+        e = first_expr("x = [1 -2];")
+        assert len(e.rows[0]) == 2
+
+    def test_spaced_minus_is_binary(self):
+        e = first_expr("x = [1 - 2];")
+        assert len(e.rows[0]) == 1
+
+    def test_tight_minus_is_binary(self):
+        e = first_expr("x = [1-2];")
+        assert len(e.rows[0]) == 1
+
+    def test_empty_matrix(self):
+        e = first_expr("x = [];")
+        assert isinstance(e, ast.MatrixLit) and not e.rows
+
+    def test_nested_expression_elements(self):
+        e = first_expr("x = [a(1) b(2)];")
+        assert len(e.rows[0]) == 2
+        assert all(isinstance(el, ast.Apply) for el in e.rows[0])
+
+    def test_multiline_rows(self):
+        e = first_expr("x = [1, 2\n3, 4];")
+        assert len(e.rows) == 2
+
+
+class TestStatements:
+    def test_assign_display_flag(self):
+        stmts = parse_stmts("x = 1\ny = 2;")
+        assert stmts[0].display is True
+        assert stmts[1].display is False
+
+    def test_if_elseif_else(self):
+        stmts = parse_stmts(
+            "if a < 1\n x = 1;\nelseif a < 2\n x = 2;\nelse\n x = 3;\nend"
+        )
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert len(node.branches) == 2
+        assert len(node.orelse) == 1
+
+    def test_while(self):
+        stmts = parse_stmts("while x < 10\n x = x + 1;\nend")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for_range(self):
+        stmts = parse_stmts("for i = 1:10\n s = s + i;\nend")
+        node = stmts[0]
+        assert isinstance(node, ast.For)
+        assert node.var == "i"
+        assert isinstance(node.iterable, ast.Range)
+
+    def test_break_continue_return(self):
+        stmts = parse_stmts(
+            "while 1\n if a\n break\n end\n continue\nend\nreturn"
+        )
+        assert isinstance(stmts[-1], ast.Return)
+
+    def test_lhs_indexing(self):
+        stmts = parse_stmts("a(i, j) = 5;")
+        assert isinstance(stmts[0], ast.Assign)
+        assert isinstance(stmts[0].target, ast.Apply)
+
+    def test_multi_assign(self):
+        stmts = parse_stmts("[m, n] = size(a);")
+        node = stmts[0]
+        assert isinstance(node, ast.MultiAssign)
+        assert len(node.targets) == 2
+
+    def test_matrix_stmt_not_multiassign(self):
+        stmts = parse_stmts("[1, 2, 3];")
+        assert isinstance(stmts[0], ast.ExprStmt)
+
+    def test_expr_statement_call(self):
+        stmts = parse_stmts("disp(x);")
+        assert isinstance(stmts[0], ast.ExprStmt)
+
+    def test_comma_separated_statements(self):
+        stmts = parse_stmts("x = 1, y = 2")
+        assert len(stmts) == 2
+
+
+class TestFunctions:
+    def test_function_header_forms(self):
+        funcs = parse_source(
+            "function y = f(x)\ny = x;\n", "f.m"
+        )
+        assert funcs[0].name == "f"
+        assert funcs[0].inputs == ["x"]
+        assert funcs[0].outputs == ["y"]
+
+    def test_function_multiple_outputs(self):
+        funcs = parse_source(
+            "function [a, b] = f(x, y)\na = x;\nb = y;\n", "f.m"
+        )
+        assert funcs[0].outputs == ["a", "b"]
+
+    def test_function_no_output(self):
+        funcs = parse_source("function go()\ndisp(1);\n", "go.m")
+        assert funcs[0].outputs == []
+
+    def test_subfunctions(self):
+        text = (
+            "function y = main(x)\ny = helper(x);\n"
+            "function z = helper(w)\nz = w + 1;\n"
+        )
+        funcs = parse_source(text, "main.m")
+        assert [f.name for f in funcs] == ["main", "helper"]
+
+    def test_script_wrapped(self):
+        funcs = parse_source("x = 1;\ndisp(x);\n", "myscript.m")
+        assert funcs[0].name == "myscript"
+        assert funcs[0].inputs == []
+
+    def test_program_entry(self):
+        prog = parse_program(
+            {
+                "drv.m": "function drv()\nx = f(2);\n",
+                "f.m": "function y = f(x)\ny = x * 2;\n",
+            }
+        )
+        assert prog.entry == "drv"
+        assert set(prog.functions) == {"drv", "f"}
+
+    def test_duplicate_function_raises(self):
+        with pytest.raises(MatlabSyntaxError):
+            parse_program(
+                {
+                    "a.m": "function f()\nx = 1;\n",
+                    "b.m": "function f()\ny = 2;\n",
+                }
+            )
+
+    def test_function_with_terminating_end(self):
+        funcs = parse_source(
+            "function y = f(x)\ny = x;\nend\n", "f.m"
+        )
+        assert funcs[0].name == "f"

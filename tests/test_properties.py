@@ -1,0 +1,412 @@
+"""Property-based tests (hypothesis) on core lattices and algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import color_graph, verify_coloring
+from repro.core.decompose import strongly_connected_components
+from repro.core.interference import InterferenceGraph
+from repro.ssa.invert import _sequentialize_parallel_copies
+from repro.typing.intrinsic import Intrinsic
+from repro.typing.ranges import Interval
+from repro.typing.shape import (
+    ConstDim,
+    Shape,
+    ValueDim,
+    dim_add,
+    dim_le,
+    dim_max,
+    dim_mul,
+)
+
+# --------------------------------------------------------------------------
+# Intrinsic lattice
+# --------------------------------------------------------------------------
+
+intrinsics = st.sampled_from(list(Intrinsic))
+
+
+class TestIntrinsicLattice:
+    @given(intrinsics, intrinsics)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(intrinsics, intrinsics, intrinsics)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(intrinsics)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(intrinsics, intrinsics)
+    def test_join_is_upper_bound(self, a, b):
+        j = a.join(b)
+        assert j.value >= a.value and j.value >= b.value
+
+
+# --------------------------------------------------------------------------
+# Interval arithmetic soundness
+# --------------------------------------------------------------------------
+
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def interval_containing(draw_lo, draw_hi, value):
+    lo = min(draw_lo, value)
+    hi = max(draw_hi, value)
+    return Interval.bounded(lo, hi)
+
+
+bounded_intervals = st.builds(
+    lambda a, b: Interval.bounded(min(a, b), max(a, b)), values, values
+)
+
+
+def pick_in(interval: Interval, fraction: float) -> float:
+    value = interval.lo + (interval.hi - interval.lo) * fraction
+    return min(max(value, interval.lo), interval.hi)  # clamp rounding
+
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestIntervalSoundness:
+    @given(bounded_intervals, bounded_intervals, fractions, fractions)
+    def test_add_sound(self, x, y, fx, fy):
+        a, b = pick_in(x, fx), pick_in(y, fy)
+        assert (x + y).contains(a + b)
+
+    @given(bounded_intervals, bounded_intervals, fractions, fractions)
+    def test_sub_sound(self, x, y, fx, fy):
+        a, b = pick_in(x, fx), pick_in(y, fy)
+        assert (x - y).contains(a - b)
+
+    @given(bounded_intervals, bounded_intervals, fractions, fractions)
+    def test_mul_sound(self, x, y, fx, fy):
+        a, b = pick_in(x, fx), pick_in(y, fy)
+        result = x * y
+        product = a * b
+        # allow for float rounding at the interval edges
+        span = max(1.0, abs(result.lo), abs(result.hi))
+        assert (
+            result.lo - 1e-6 * span <= product <= result.hi + 1e-6 * span
+        )
+
+    @given(bounded_intervals, fractions)
+    def test_neg_sound(self, x, fx):
+        a = pick_in(x, fx)
+        assert (-x).contains(-a)
+
+    @given(bounded_intervals, fractions)
+    def test_abs_sound(self, x, fx):
+        a = pick_in(x, fx)
+        assert x.absolute().contains(abs(a))
+
+    @given(bounded_intervals, fractions)
+    def test_floor_sound(self, x, fx):
+        a = pick_in(x, fx)
+        assert x.floor().contains(math.floor(a))
+
+    @given(bounded_intervals, bounded_intervals)
+    def test_join_is_hull(self, x, y):
+        j = x.join(y)
+        assert j.lo <= min(x.lo, y.lo) + 1e-12
+        assert j.hi >= max(x.hi, y.hi) - 1e-12
+
+    @given(bounded_intervals, bounded_intervals)
+    def test_widen_stable(self, prev, cur):
+        w = cur.widen(prev)
+        # widening must be an upper bound of the current iterate
+        assert w.lo <= cur.lo and w.hi >= cur.hi
+        # and re-widening by the same pair must be a fixed point
+        w2 = w.widen(prev)
+        assert w2.lo <= w.lo and w2.hi >= w.hi
+
+
+# --------------------------------------------------------------------------
+# Dimension expressions
+# --------------------------------------------------------------------------
+
+const_dims = st.integers(min_value=0, max_value=10_000).map(ConstDim)
+value_dims = st.sampled_from(["n", "m", "k"]).map(ValueDim)
+simple_dims = st.one_of(const_dims, value_dims)
+
+
+class TestDimAlgebra:
+    @given(simple_dims, simple_dims)
+    def test_max_commutative(self, a, b):
+        assert dim_max(a, b) == dim_max(b, a)
+
+    @given(simple_dims, simple_dims, simple_dims)
+    def test_max_associative(self, a, b, c):
+        assert dim_max(dim_max(a, b), c) == dim_max(a, dim_max(b, c))
+
+    @given(simple_dims)
+    def test_max_idempotent(self, a):
+        assert dim_max(a, a) == a
+
+    @given(simple_dims, simple_dims)
+    def test_le_of_max(self, a, b):
+        assert dim_le(a, dim_max(a, b))
+        assert dim_le(b, dim_max(a, b))
+
+    @given(simple_dims)
+    def test_le_reflexive(self, a):
+        assert dim_le(a, a)
+
+    @given(const_dims, const_dims)
+    def test_le_consts(self, a, b):
+        assert dim_le(a, b) == (a.value <= b.value)
+
+    @given(simple_dims, simple_dims)
+    def test_add_commutative(self, a, b):
+        assert dim_add(a, b) == dim_add(b, a)
+
+    @given(simple_dims)
+    def test_mul_unit(self, a):
+        assert dim_mul(a, ConstDim(1)) == a
+        assert dim_mul(ConstDim(1), a) == a
+
+    @given(const_dims, const_dims)
+    def test_const_folding(self, a, b):
+        assert dim_add(a, b) == ConstDim(a.value + b.value)
+        assert dim_mul(a, b) == ConstDim(a.value * b.value)
+
+
+shapes = st.builds(
+    lambda r, c: Shape((r, c)), simple_dims, simple_dims
+)
+
+
+class TestShapeLattice:
+    @given(shapes)
+    def test_join_idempotent(self, s):
+        assert s.join(s) == s
+
+    @given(shapes, shapes)
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.storage_le(j)
+        assert b.storage_le(j)
+
+    @given(shapes)
+    def test_storage_le_reflexive(self, s):
+        assert s.storage_le(s)
+
+    @given(shapes)
+    def test_transpose_involution(self, s):
+        assert s.transposed().transposed() == s
+
+
+# --------------------------------------------------------------------------
+# Graph coloring on random interference graphs
+# --------------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=14),
+    ),
+    max_size=40,
+)
+
+
+class TestColoringProperties:
+    @given(edge_lists)
+    def test_greedy_coloring_always_valid(self, edges):
+        graph = InterferenceGraph()
+        for i in range(15):
+            graph.add_node(f"v{i}")
+        for a, b in edges:
+            if a != b:
+                graph.add_edge(f"v{a}", f"v{b}")
+        order = [f"v{i}" for i in range(15)]
+        coloring = color_graph(graph, order)
+        verify_coloring(graph, coloring)
+
+    @given(edge_lists)
+    def test_colors_bounded_by_degree_plus_one(self, edges):
+        graph = InterferenceGraph()
+        for i in range(15):
+            graph.add_node(f"v{i}")
+        for a, b in edges:
+            if a != b:
+                graph.add_edge(f"v{a}", f"v{b}")
+        coloring = color_graph(graph, [f"v{i}" for i in range(15)])
+        max_degree = max(
+            (graph.degree(n) for n in graph.nodes()), default=0
+        )
+        assert coloring.num_colors <= max_degree + 1
+
+    @given(edge_lists, st.lists(st.tuples(
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=14),
+    ), max_size=8))
+    def test_coalescing_preserves_validity(self, edges, merges):
+        graph = InterferenceGraph()
+        for i in range(15):
+            graph.add_node(f"v{i}")
+        for a, b in edges:
+            if a != b:
+                graph.add_edge(f"v{a}", f"v{b}")
+        for a, b in merges:
+            graph.coalesce(f"v{a}", f"v{b}")  # may refuse; fine
+        coloring = color_graph(graph, [f"v{i}" for i in range(15)])
+        verify_coloring(graph, coloring)
+
+
+# --------------------------------------------------------------------------
+# SCC against networkx
+# --------------------------------------------------------------------------
+
+
+class TestSCCAgainstNetworkx:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        nodes = [f"n{i}" for i in range(10)]
+        succ = {n: [] for n in nodes}
+        g = nx.DiGraph()
+        g.add_nodes_from(nodes)
+        for a, b in edges:
+            succ[f"n{a}"].append(f"n{b}")
+            g.add_edge(f"n{a}", f"n{b}")
+        ours = {
+            frozenset(c)
+            for c in strongly_connected_components(nodes, succ)
+        }
+        theirs = {
+            frozenset(c) for c in nx.strongly_connected_components(g)
+        }
+        assert ours == theirs
+
+
+# --------------------------------------------------------------------------
+# Parallel-copy sequentialization executes parallel semantics
+# --------------------------------------------------------------------------
+
+
+class TestParallelCopySemantics:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_sequentialization_correct(self, pairs):
+        from repro.ir.instr import Var
+
+        copies = [(f"x{d}", Var(f"x{s}")) for d, s in pairs]
+        env = {f"x{i}": i for i in range(6)}
+        # parallel semantics: all reads happen before all writes
+        expected = dict(env)
+        for dst, src in copies:
+            expected[dst] = env[src.name]
+
+        temps = iter(f"t{i}$" for i in range(10))
+        ordered = _sequentialize_parallel_copies(
+            copies, lambda: next(temps)
+        )
+        actual = dict(env)
+        for dst, src in ordered:
+            actual[dst] = actual[src.name]
+        for key in expected:
+            assert actual[key] == expected[key], key
+
+
+# --------------------------------------------------------------------------
+# Runtime ops agree with numpy on random inputs
+# --------------------------------------------------------------------------
+
+small_matrices = st.integers(min_value=1, max_value=4).flatmap(
+    lambda r: st.integers(min_value=1, max_value=4).flatmap(
+        lambda c: st.lists(
+            st.floats(min_value=-100, max_value=100,
+                      allow_nan=False, allow_infinity=False),
+            min_size=r * c,
+            max_size=r * c,
+        ).map(lambda vals: np.array(vals).reshape(r, c))
+    )
+)
+
+
+class TestRuntimeAgainstNumpy:
+    @given(small_matrices)
+    def test_add_scalar(self, m):
+        from repro.runtime import ops
+        from repro.runtime.marray import MArray
+
+        a = MArray.from_numpy(m)
+        result = ops.add(a, MArray.from_scalar(2.5))
+        assert np.allclose(result.data, m + 2.5)
+
+    @given(small_matrices)
+    def test_transpose(self, m):
+        from repro.runtime import ops
+        from repro.runtime.marray import MArray
+
+        a = MArray.from_numpy(m)
+        assert np.allclose(
+            ops.transpose(a, conjugate=True).data, m.T
+        )
+
+    @given(small_matrices)
+    def test_matmul_with_transpose(self, m):
+        from repro.runtime import ops
+        from repro.runtime.marray import MArray
+
+        a = MArray.from_numpy(m)
+        at = ops.transpose(a, conjugate=True)
+        result = ops.mul(at, a)
+        assert np.allclose(result.data, m.T @ m)
+
+    @given(small_matrices)
+    def test_subsref_roundtrip(self, m):
+        from repro.runtime.indexing import subsasgn, subsref
+        from repro.runtime.marray import MArray
+
+        a = MArray.from_numpy(m)
+        rows, cols = m.shape
+        i, j = rows, cols  # last element
+        written = subsasgn(
+            a,
+            MArray.from_scalar(123.0),
+            [MArray.from_scalar(i), MArray.from_scalar(j)],
+        )
+        read = subsref(
+            written,
+            [MArray.from_scalar(i), MArray.from_scalar(j)],
+        )
+        assert read.scalar_real() == 123.0
+
+    @given(small_matrices)
+    def test_linear_index_column_major(self, m):
+        from repro.runtime.indexing import subsref
+        from repro.runtime.marray import MArray
+
+        a = MArray.from_numpy(m)
+        flat = np.asfortranarray(m).flatten(order="F")
+        for k in range(min(3, flat.size)):
+            got = subsref(a, [MArray.from_scalar(k + 1)]).scalar_real()
+            assert got == pytest.approx(flat[k])

@@ -1,0 +1,95 @@
+"""Tests for compilation reports and the annotated IR printer."""
+
+from repro.compiler.pipeline import compile_program, compile_source
+from repro.compiler.reports import (
+    full_report,
+    interference_summary,
+    reduction_summary,
+    storage_map,
+)
+from repro.ir.printer import format_function
+
+
+def result_for(text, **sources):
+    if sources:
+        files = {"main.m": text}
+        files.update({f"{n}.m": s for n, s in sources.items()})
+        return compile_program(files)
+    return compile_source(text)
+
+
+class TestReports:
+    def test_reduction_summary_fields(self):
+        result = result_for(
+            "a = rand(8); b = a + 1; disp(sum(sum(b)));"
+        )
+        summary = reduction_summary(result)
+        assert "variables subsumed" in summary
+        assert "KB static reduction" in summary
+
+    def test_storage_map_lists_groups(self):
+        result = result_for(
+            "a = rand(8); b = a + 1; c = b .* 2; disp(sum(sum(c)));"
+        )
+        text = storage_map(result)
+        assert "stack frame:" in text
+        assert "group" in text
+        assert "root=" in text
+
+    def test_storage_map_resize_marks(self):
+        result = result_for(
+            "t0 = mystery(); t1 = t0 - 1.0; t2 = t1 * 2.0; disp(t2);",
+            mystery=(
+                "function y = mystery()\n"
+                "n = floor(rand(1) * 4) + 1;\ny = rand(n, n);\n"
+            ),
+        )
+        text = storage_map(result)
+        assert "symbolic" in text
+        assert " o " in text  # a ∘ (non-resized) definition
+
+    def test_interference_summary(self):
+        result = result_for(
+            "a = rand(3); b = rand(3); c = a * b; disp(sum(sum(c)));"
+        )
+        text = interference_summary(result)
+        assert "du-chain" in text
+        assert "operator-semantics" in text
+
+    def test_full_report_composes(self):
+        result = result_for("x = 1 + 1; disp(x);")
+        text = full_report(result)
+        assert "variables subsumed" in text
+        assert "stack frame" in text
+
+
+class TestPrinter:
+    def test_plain_function(self):
+        result = result_for("a = zeros(2); disp(a(1, 1));")
+        text = format_function(result.exec_func)
+        assert "function" in text
+        assert "B0:" in text
+        assert "ret" in text
+
+    def test_with_types(self):
+        result = result_for("a = zeros(2); disp(a(1, 1));")
+        text = format_function(result.exec_func, env=result.env)
+        assert "REAL" in text
+
+    def test_with_plan_annotations(self):
+        result = result_for(
+            "a = rand(4); b = a + 1; disp(sum(sum(b)));"
+        )
+        text = format_function(
+            result.exec_func, env=result.env, plan=result.plan
+        )
+        assert "; " in text
+        assert "g0" in text or "g1" in text
+
+    def test_branches_printed(self):
+        result = result_for(
+            "a = rand(1);\nif a > 0.5\n disp(1);\nelse\n disp(2);\nend"
+        )
+        text = format_function(result.exec_func)
+        assert "branch" in text
+        assert "jump" in text
