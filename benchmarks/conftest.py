@@ -1,8 +1,10 @@
 """Shared fixtures for the table/figure regeneration harness.
 
-The collection pass (11 benchmarks × 4 runs) is cached per process via
-:func:`repro.bench.experiments.collect`, so the per-figure files share
-one measurement sweep.
+The collection pass (11 benchmarks × 4 runs) goes through the service
+layer's parallel batch driver (:func:`repro.bench.experiments.
+collect_all` fans the sweep over a process pool and degrades to serial
+if the pool cannot start).  Results are memoized per process, so the
+per-figure files share one measurement sweep either way.
 """
 
 import pytest

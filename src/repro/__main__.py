@@ -3,18 +3,28 @@
 Commands:
 
 * ``compile FILES…``  — compile M-files, print GCTD statistics
+  (``--cache`` answers repeat compiles from the artifact cache,
+  ``--trace`` prints pass-level telemetry)
 * ``run FILES…``      — compile and execute (mat2c/mcc/interp model)
 * ``emit-c FILES…``   — print the C translation
-* ``bench [NAMES…]``  — run the paper's experiment harness
+* ``bench``           — run the paper's experiment harness through the
+  parallel batch driver; writes ``BENCH_<timestamp>.json``
+* ``stats``           — render the latest pass-level telemetry JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
-from repro.compiler.pipeline import CompilerOptions, compile_program
+from repro.compiler.pipeline import (
+    CompilerOptions,
+    PIPELINE_VERSION,
+    compile_program,
+)
 from repro.core.gctd import GCTDOptions
 from repro.runtime.builtins import RuntimeContext
 
@@ -33,8 +43,27 @@ def _options(args) -> CompilerOptions:
     )
 
 
+def _cache_from(args):
+    from repro.service.cache import ArtifactCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache", False) or getattr(args, "cache_dir", None):
+        return ArtifactCache(args.cache_dir or ".repro-cache")
+    return None
+
+
 def cmd_compile(args) -> int:
-    result = compile_program(_load(args.files), options=_options(args))
+    from repro.service.telemetry import Tracer
+
+    cache = _cache_from(args)
+    tracer = Tracer(label="compile") if (args.trace or cache) else None
+    result = compile_program(
+        _load(args.files),
+        options=_options(args),
+        tracer=tracer,
+        cache=cache,
+    )
     stats = result.report
     print(f"entry function        : {result.program.entry}")
     print(f"variables at GCTD     : {stats.original_variable_count}")
@@ -75,6 +104,22 @@ def cmd_compile(args) -> int:
                 f"  {pair.array} could overlap {pair.other} "
                 f"({pair.potential_bytes} B)"
             )
+    if cache is not None:
+        hit = tracer.cache_hits > 0
+        print(
+            f"artifact cache        : "
+            f"{'hit' if hit else 'miss'} ({cache.root})"
+        )
+    if args.trace and tracer is not None:
+        from repro.compiler.reports import telemetry_table
+        from repro.service.telemetry import aggregate_passes
+
+        print()
+        print(telemetry_table(aggregate_passes([tracer.to_dict()])))
+    if cache is not None and tracer is not None:
+        from repro.service.stats import write_telemetry
+
+        write_telemetry(tracer.to_dict(), cache.root)
     return 0
 
 
@@ -115,9 +160,106 @@ def cmd_emit_c(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench.experiments import run_all_experiments
+    """Run the experiment harness through the cached batch driver.
 
-    sys.stdout.write(run_all_experiments())
+    Alongside the paper's tables/figures on stdout, writes a
+    machine-readable ``BENCH_<timestamp>.json`` (per-benchmark compile
+    time, cache hits, executor timings, pass telemetry) so the perf
+    trajectory is trackable across runs.
+    """
+    from repro.bench.experiments import collect_records, run_all_experiments
+    from repro.service.cache import ArtifactCache, DEFAULT_CACHE_ROOT
+
+    start = time.perf_counter()
+    cache_root = (
+        None
+        if args.no_cache
+        else (args.cache_dir or DEFAULT_CACHE_ROOT)
+    )
+    records, infos, executor = collect_records(
+        cache_root=cache_root, jobs=args.jobs, trace=True
+    )
+    sweep_seconds = time.perf_counter() - start
+    sys.stdout.write(run_all_experiments(records))
+
+    for info in infos:
+        record = records.get(info["name"])
+        if record is not None:
+            info["executors"] = {
+                "mat2c": record.mat2c.report.execution_seconds,
+                "mcc": record.mcc.report.execution_seconds,
+                "interp": record.interp.report.execution_seconds,
+                "mat2c_nogctd": (
+                    record.mat2c_nogctd.report.execution_seconds
+                ),
+            }
+    hits = sum(1 for info in infos if info.get("cache_hit"))
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "pipeline_version": PIPELINE_VERSION,
+        "wall_seconds": sweep_seconds,
+        "batch": {
+            "executor": executor,
+            "jobs": args.jobs,
+            "wall_seconds": sweep_seconds,
+        },
+        "cache": {
+            "root": str(cache_root) if cache_root else None,
+            "hits": hits,
+            "misses": len(infos) - hits,
+            "entries": (
+                len(ArtifactCache(cache_root).entries())
+                if cache_root
+                else 0
+            ),
+        },
+        "benchmarks": infos,
+    }
+    out_dir = Path(args.output_dir or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = (
+        time.strftime("%Y%m%d-%H%M%S")
+        + f"-{int(time.time() * 1000) % 1000:03d}"
+    )
+    out_path = out_dir / f"BENCH_{stamp}.json"
+    out_path.write_text(json.dumps(payload, indent=2))
+    if cache_root:
+        from repro.service.stats import write_telemetry
+
+        write_telemetry(payload, cache_root)
+    print(
+        f"\nbench: {sweep_seconds:.2f} s ({executor}), "
+        f"{hits}/{len(infos)} cache hits -> {out_path}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render the most recent telemetry JSON (or a given file)."""
+    from repro.service.cache import DEFAULT_CACHE_ROOT
+    from repro.service.stats import find_latest_telemetry, render_stats
+
+    if args.file:
+        path = Path(args.file)
+    else:
+        path = find_latest_telemetry(
+            cache_root=args.cache_dir or DEFAULT_CACHE_ROOT
+        )
+    if path is None or not path.is_file():
+        print(
+            "no telemetry found (run `repro bench` or "
+            "`repro compile --cache` first)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"could not read telemetry {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"telemetry: {path}")
+    sys.stdout.write(render_stats(payload))
     return 0
 
 
@@ -142,6 +284,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="report §2.1 partial-interference opportunities",
     )
+    p_compile.add_argument(
+        "--cache",
+        action="store_true",
+        help="use the content-addressed artifact cache",
+    )
+    p_compile.add_argument(
+        "--cache-dir", help="cache root (default .repro-cache)"
+    )
+    p_compile.add_argument(
+        "--trace",
+        action="store_true",
+        help="print pass-level telemetry",
+    )
     p_compile.set_defaults(fn=cmd_compile)
 
     p_run = sub.add_parser("run", help="compile and execute")
@@ -164,7 +319,39 @@ def main(argv: list[str] | None = None) -> int:
     p_bench = sub.add_parser(
         "bench", help="regenerate the paper's tables and figures"
     )
+    p_bench.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="parallel compile/measure workers (default: cpu count)",
+    )
+    p_bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact cache",
+    )
+    p_bench.add_argument(
+        "--cache-dir", help="cache root (default .repro-cache)"
+    )
+    p_bench.add_argument(
+        "--output-dir",
+        help="where to write BENCH_<timestamp>.json (default: cwd)",
+    )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_stats = sub.add_parser(
+        "stats", help="render pass-level telemetry JSON"
+    )
+    p_stats.add_argument(
+        "file",
+        nargs="?",
+        help="telemetry/BENCH json (default: newest available)",
+    )
+    p_stats.add_argument(
+        "--cache-dir", help="cache root (default .repro-cache)"
+    )
+    p_stats.set_defaults(fn=cmd_stats)
 
     args = parser.parse_args(argv)
     return args.fn(args)

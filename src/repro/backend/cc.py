@@ -2,15 +2,26 @@
 
 The paper compiled mat2c output with Sun Workshop cc ``-xO4``; we use
 whatever host C compiler is available at ``-O2``.
+
+When a ``cache_dir`` is given, compiled binaries are reused across
+calls, keyed by the SHA-256 of the C source (plus compiler identity):
+``<cache_dir>/bin/<hash>/program``.  The binary is built in a
+temporary directory and moved into place atomically, so concurrent
+test workers sharing one cache race benignly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import shutil
 import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from shutil import which
+
+_CFLAGS = ("-O2",)
 
 
 class CCompilerUnavailable(RuntimeError):
@@ -23,6 +34,7 @@ class CRunResult:
     stderr: str
     returncode: int
     c_source: str
+    cached: bool = False          # binary came from the cache
 
 
 def find_compiler() -> str | None:
@@ -32,37 +44,83 @@ def find_compiler() -> str | None:
     return None
 
 
+def binary_cache_key(c_source: str, compiler: str) -> str:
+    """Content hash of the C source + compiler identity + flags."""
+    payload = "\x00".join((compiler, " ".join(_CFLAGS), c_source))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _build(
+    compiler: str, src: Path, exe: Path, timeout_seconds: float,
+    c_source: str,
+) -> None:
+    build = subprocess.run(
+        [compiler, *_CFLAGS, "-o", str(exe), str(src), "-lm"],
+        capture_output=True,
+        text=True,
+        timeout=timeout_seconds,
+    )
+    if build.returncode != 0:
+        raise RuntimeError(
+            f"C compilation failed:\n{build.stderr}\n--- source ---\n"
+            + c_source
+        )
+
+
 def compile_and_run(
-    c_source: str, timeout_seconds: float = 30.0
+    c_source: str,
+    timeout_seconds: float = 30.0,
+    cache_dir: str | Path | None = None,
 ) -> CRunResult:
-    """Compile the C translation with the host compiler and run it."""
+    """Compile the C translation with the host compiler and run it.
+
+    ``cache_dir`` (usually the artifact cache root, see
+    :class:`repro.service.cache.ArtifactCache`) enables binary reuse:
+    an identical C source is compiled at most once per cache.
+    """
     compiler = find_compiler()
     if compiler is None:
         raise CCompilerUnavailable("no C compiler on PATH")
+
+    cached_exe: Path | None = None
+    if cache_dir is not None:
+        key = binary_cache_key(c_source, compiler)
+        cached_exe = Path(cache_dir) / "bin" / key / "program"
+        if cached_exe.is_file() and os.access(cached_exe, os.X_OK):
+            return _run(cached_exe, c_source, timeout_seconds, cached=True)
+
     with tempfile.TemporaryDirectory(prefix="mat2c_") as tmp:
         src = Path(tmp) / "program.c"
         exe = Path(tmp) / "program"
         src.write_text(c_source)
-        build = subprocess.run(
-            [compiler, "-O2", "-o", str(exe), str(src), "-lm"],
-            capture_output=True,
-            text=True,
-            timeout=timeout_seconds,
-        )
-        if build.returncode != 0:
-            raise RuntimeError(
-                f"C compilation failed:\n{build.stderr}\n--- source ---\n"
-                + c_source
-            )
-        run = subprocess.run(
-            [str(exe)],
-            capture_output=True,
-            text=True,
-            timeout=timeout_seconds,
-        )
-        return CRunResult(
-            stdout=run.stdout,
-            stderr=run.stderr,
-            returncode=run.returncode,
-            c_source=c_source,
-        )
+        _build(compiler, src, exe, timeout_seconds, c_source)
+        if cached_exe is not None:
+            cached_exe.parent.mkdir(parents=True, exist_ok=True)
+            staging = cached_exe.parent / f".tmp-{os.getpid()}"
+            try:
+                # Copy (the tempdir may be on another filesystem), then
+                # rename atomically within the cache directory.
+                shutil.copy2(exe, staging)
+                os.replace(staging, cached_exe)
+            except OSError:
+                return _run(exe, c_source, timeout_seconds, cached=False)
+            return _run(cached_exe, c_source, timeout_seconds, cached=False)
+        return _run(exe, c_source, timeout_seconds, cached=False)
+
+
+def _run(
+    exe: Path, c_source: str, timeout_seconds: float, cached: bool
+) -> CRunResult:
+    run = subprocess.run(
+        [str(exe)],
+        capture_output=True,
+        text=True,
+        timeout=timeout_seconds,
+    )
+    return CRunResult(
+        stdout=run.stdout,
+        stderr=run.stderr,
+        returncode=run.returncode,
+        c_source=c_source,
+        cached=cached,
+    )

@@ -11,8 +11,9 @@ so the per-figure benchmark files can share one collection pass.
 
 from __future__ import annotations
 
+import pickle
+import time
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.bench.suite import (
     BENCHMARK_NAMES,
@@ -21,7 +22,7 @@ from repro.bench.suite import (
     count_lines,
     load_sources,
 )
-from repro.compiler.pipeline import CompilerOptions
+from repro.compiler.pipeline import CompilerOptions, compile_program
 from repro.core.gctd import GCTDOptions
 from repro.runtime.builtins import RuntimeContext
 
@@ -54,17 +55,32 @@ class BenchRecord:
         )
 
 
-@lru_cache(maxsize=None)
-def collect(name: str) -> BenchRecord:
-    compilation = compile_benchmark(name)
+_RECORDS: dict[str, BenchRecord] = {}
+
+#: Side-artifact name for a cached measurement record (see
+#: :func:`collect_record`); keyed next to the compilation entry, so a
+#: source/option/pipeline-version change invalidates it too.
+_RECORD_EXTRA = f"bench-record-seed{_SEED}.pkl"
+
+
+def _nogctd_options() -> CompilerOptions:
+    return CompilerOptions(gctd=GCTDOptions(enabled=False))
+
+
+def _measure(
+    name: str, compilation=None, nogctd_compilation=None
+) -> BenchRecord:
+    """Run one benchmark under all four models and cross-check outputs."""
+    if compilation is None:
+        compilation = compile_benchmark(name)
+    if nogctd_compilation is None:
+        nogctd_compilation = compile_benchmark(
+            name, options=_nogctd_options()
+        )
     mat2c = compilation.run_mat2c(RuntimeContext(seed=_SEED))
     mcc = compilation.run_mcc(RuntimeContext(seed=_SEED))
     interp = compilation.run_interpreter(RuntimeContext(seed=_SEED))
-    off = compile_benchmark(
-        name,
-        options=CompilerOptions(gctd=GCTDOptions(enabled=False)),
-    )
-    mat2c_off = off.run_mat2c(RuntimeContext(seed=_SEED))
+    mat2c_off = nogctd_compilation.run_mat2c(RuntimeContext(seed=_SEED))
     if mat2c.output != mcc.output or mat2c.output != interp.output:
         raise AssertionError(f"{name}: execution models disagree")
     if mat2c.output != mat2c_off.output:
@@ -79,8 +95,138 @@ def collect(name: str) -> BenchRecord:
     )
 
 
-def collect_all() -> dict[str, BenchRecord]:
+def collect(name: str) -> BenchRecord:
+    """Measure one benchmark, memoized per process."""
+    record = _RECORDS.get(name)
+    if record is None:
+        record = _RECORDS[name] = _measure(name)
+    return record
+
+
+def install_records(records: dict[str, BenchRecord]) -> None:
+    """Seed the per-process memo (e.g. from a parallel batch sweep)."""
+    _RECORDS.update(records)
+
+
+def _collect_worker(name: str) -> tuple[str, BenchRecord]:
+    """Pool entry point for the parallel sweep (must stay top-level)."""
+    return name, _measure(name)
+
+
+def collect_all(jobs: int | None = None) -> dict[str, BenchRecord]:
+    """Measure the whole suite, fanning out over a process pool.
+
+    ``jobs=1`` forces the old serial sweep; anything else saturates
+    available cores via the service layer's batch machinery (degrading
+    to serial if the pool cannot start).  Results are deterministic
+    either way — every model run is seeded.
+    """
+    missing = [name for name in BENCHMARK_NAMES if name not in _RECORDS]
+    if jobs != 1 and len(missing) > 1:
+        from repro.service.driver import parallel_map
+
+        outcomes, _executor = parallel_map(_collect_worker, missing, jobs)
+        install_records(dict(outcomes))
     return {name: collect(name) for name in BENCHMARK_NAMES}
+
+
+def collect_record(
+    name: str, cache=None, tracer=None
+) -> tuple[BenchRecord, dict]:
+    """Measure one benchmark through the artifact cache.
+
+    Compilations go through ``cache`` (so identical sources/options
+    hit), and the full measurement record is memoized as a pickled
+    side artifact next to the compilation entry, keyed by the request
+    fingerprint and the run seed.  Returns ``(record, info)`` where
+    ``info`` carries timing/caching metadata for the bench report.
+    """
+    sources = load_sources(name)
+    entry = f"{name}_drv"
+    info: dict = {"name": name, "cache_hit": False, "record_cached": False}
+    fingerprint = None
+    if cache is not None:
+        fingerprint = cache.fingerprint(sources, entry, CompilerOptions())
+        info["fingerprint"] = fingerprint
+        blob = cache.load_extra(fingerprint, _RECORD_EXTRA)
+        if blob is not None:
+            try:
+                record = pickle.loads(blob)
+            except Exception:
+                record = None  # corrupted side artifact: remeasure
+            if record is not None:
+                info["cache_hit"] = True
+                info["record_cached"] = True
+                info["compile_seconds"] = 0.0
+                info["measure_seconds"] = 0.0
+                return record, info
+
+    start = time.perf_counter()
+    compilation = compile_program(
+        sources, entry, CompilerOptions(), tracer=tracer, cache=cache
+    )
+    nogctd = compile_program(
+        sources, entry, _nogctd_options(), tracer=tracer, cache=cache
+    )
+    compiled = time.perf_counter()
+    record = _measure(name, compilation, nogctd)
+    measured = time.perf_counter()
+    info["compile_seconds"] = compiled - start
+    info["measure_seconds"] = measured - compiled
+    if tracer is not None:
+        info["cache_hit"] = tracer.cache_hits > 0
+    if cache is not None and fingerprint is not None:
+        cache.store_extra(
+            fingerprint,
+            _RECORD_EXTRA,
+            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+    return record, info
+
+
+def _record_worker(payload: dict) -> tuple[BenchRecord | None, dict]:
+    """Pool entry point for the bench command's cached sweep."""
+    from repro.service.cache import ArtifactCache
+    from repro.service.telemetry import Tracer
+
+    cache = (
+        ArtifactCache(payload["cache_root"])
+        if payload.get("cache_root")
+        else None
+    )
+    tracer = (
+        Tracer(label=payload["name"]) if payload.get("trace") else None
+    )
+    record, info = collect_record(payload["name"], cache, tracer)
+    if tracer is not None:
+        info["traces"] = [tracer.to_dict()]
+    return record, info
+
+
+def collect_records(
+    names=None,
+    cache_root: str | None = None,
+    jobs: int | None = None,
+    trace: bool = False,
+):
+    """Cached, parallel measurement sweep for ``python -m repro bench``.
+
+    Returns ``(records, infos, executor_label)``.
+    """
+    from repro.service.driver import parallel_map
+
+    if names is None:
+        names = BENCHMARK_NAMES
+    payloads = [
+        {"name": name, "cache_root": cache_root or "", "trace": trace}
+        for name in names
+    ]
+    outcomes, executor = parallel_map(_record_worker, payloads, jobs)
+    records = {
+        info["name"]: record for record, info in outcomes if record
+    }
+    infos = [info for _record, info in outcomes]
+    return records, infos, executor
 
 
 # --------------------------------------------------------------------------
@@ -291,8 +437,14 @@ def format_rows(title: str, rows: list[dict]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def run_all_experiments() -> str:
-    """Regenerate every table and figure; returns the full report."""
+def run_all_experiments(records=None) -> str:
+    """Regenerate every table and figure; returns the full report.
+
+    ``records`` (name → BenchRecord) lets a batch driver inject
+    already measured results, e.g. the bench command's cached sweep.
+    """
+    if records:
+        install_records(records)
     sections = [
         format_rows("Table 1: Benchmark Suite Description", table1_rows()),
         format_rows(

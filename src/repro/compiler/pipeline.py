@@ -17,6 +17,7 @@ the paper's whole comparison matrix.
 from __future__ import annotations
 
 import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.analysis.pass_manager import PassStatistics, run_cleanup_pipeline
@@ -36,6 +37,39 @@ from repro.vm.base import ExecutionResult
 from repro.vm.executor import Mat2CExecutor
 
 _MAX_INFERENCE_ROUNDS = 4
+
+#: Version of the translation pipeline itself.  Part of every artifact
+#: fingerprint (see :mod:`repro.service.fingerprint`); bump it whenever
+#: a pass change makes previously cached compilation results stale.
+PIPELINE_VERSION = "1"
+
+
+class _NullSpan:
+    """Detail sink used when no tracer is injected."""
+
+    __slots__ = ("details",)
+
+    def __init__(self) -> None:
+        self.details: dict = {}
+
+
+class _NullTracer:
+    """Do-nothing stand-in for :class:`repro.service.telemetry.Tracer`.
+
+    The pipeline only ever talks to this interface, so the service
+    layer stays an optional dependency: injecting a real tracer turns
+    on pass-level telemetry, omitting it costs (almost) nothing.
+    """
+
+    @contextmanager
+    def span(self, name: str, func: IRFunction | None = None):
+        yield _NullSpan()
+
+    def event(self, name: str, **details) -> None:
+        pass
+
+
+_NULL_TRACER = _NullTracer()
 
 
 @dataclass(slots=True)
@@ -112,39 +146,87 @@ def compile_program(
     sources: dict[str, str],
     entry: str | None = None,
     options: CompilerOptions | None = None,
+    *,
+    tracer=None,
+    cache=None,
 ) -> CompilationResult:
-    """Compile a set of M-files (filename → text)."""
+    """Compile a set of M-files (filename → text).
+
+    ``tracer`` and ``cache`` are optional injected dependencies (see
+    :mod:`repro.service`): a tracer records per-pass wall time and IR
+    statistics, a cache short-circuits the whole pipeline when an
+    identical request (same sources, options, and pipeline version)
+    has been compiled before.
+    """
     options = options or CompilerOptions()
-    program = parse_program(sources, entry)
-    func = lower_program(program)
-    construct_ssa(func)
-    pass_stats = run_cleanup_pipeline(
-        func,
-        enable_cse=options.enable_cse,
-        enable_constfold=options.enable_constfold,
-    )
-    env = infer_types(func)
+    tracer = tracer if tracer is not None else _NULL_TRACER
+    if cache is not None:
+        cached = cache.get_program(sources, entry, options, tracer=tracer)
+        if cached is not None:
+            return cached
+    result = _run_pipeline(sources, entry, options, tracer)
+    if cache is not None:
+        cache.put_program(sources, entry, options, result, tracer=tracer)
+    return result
+
+
+def _run_pipeline(
+    sources: dict[str, str],
+    entry: str | None,
+    options: CompilerOptions,
+    tracer,
+) -> CompilationResult:
+    with tracer.span("parse"):
+        program = parse_program(sources, entry)
+    with tracer.span("lower") as sp:
+        func = lower_program(program)
+        sp.details["functions_inlined"] = len(program.functions) - 1
+    with tracer.span("ssa", func):
+        construct_ssa(func)
+    with tracer.span("cleanup", func) as sp:
+        pass_stats = run_cleanup_pipeline(
+            func,
+            enable_cse=options.enable_cse,
+            enable_constfold=options.enable_constfold,
+        )
+        sp.details["iterations"] = pass_stats.iterations
+    with tracer.span("infer", func):
+        env = infer_types(func)
     if options.enable_shapefold:
-        for _ in range(_MAX_INFERENCE_ROUNDS):
-            folded = fold_shape_queries(func, env)
+        for round_no in range(_MAX_INFERENCE_ROUNDS):
+            with tracer.span("shapefold", func) as sp:
+                folded = fold_shape_queries(func, env)
+                sp.details["queries_folded"] = folded
             if not folded:
                 break
-            run_cleanup_pipeline(
-                func,
-                enable_cse=options.enable_cse,
-                enable_constfold=options.enable_constfold,
-            )
-            env = infer_types(func)
+            with tracer.span("cleanup", func):
+                run_cleanup_pipeline(
+                    func,
+                    enable_cse=options.enable_cse,
+                    enable_constfold=options.enable_constfold,
+                )
+            with tracer.span("infer", func):
+                env = infer_types(func)
 
-    gctd = run_gctd(func, env, options.gctd)
+    with tracer.span("gctd", func) as sp:
+        gctd = run_gctd(func, env, options.gctd)
+        stats = gctd.interference_stats
+        sp.details["interference_edges"] = (
+            stats.duchain_edges + stats.opsem_edges
+        )
+        sp.details["interference_nodes"] = len(gctd.graph.nodes())
+        sp.details["colors"] = gctd.plan.stats.color_count
+        sp.details["groups"] = gctd.plan.stats.group_count
 
-    ssa_snapshot = copy.deepcopy(func)
-    invert_ssa(func)
-    # Identity copies (same storage group) stay in the executable IR —
-    # the environment is name-keyed — but they cost nothing in the
-    # mat2c model and the C back end emits no code for them.  Count
-    # them here for the report.
-    folded_copies = _count_identity_copies(func, gctd.plan)
+    with tracer.span("invert", func) as sp:
+        ssa_snapshot = copy.deepcopy(func)
+        invert_ssa(func)
+        # Identity copies (same storage group) stay in the executable
+        # IR — the environment is name-keyed — but they cost nothing in
+        # the mat2c model and the C back end emits no code for them.
+        # Count them here for the report.
+        folded_copies = _count_identity_copies(func, gctd.plan)
+        sp.details["identity_copies_folded"] = folded_copies
 
     return CompilationResult(
         program=program,
@@ -177,6 +259,11 @@ def compile_source(
     text: str,
     name: str = "main",
     options: CompilerOptions | None = None,
+    *,
+    tracer=None,
+    cache=None,
 ) -> CompilationResult:
     """Compile a single M-file given as a string."""
-    return compile_program({f"{name}.m": text}, options=options)
+    return compile_program(
+        {f"{name}.m": text}, options=options, tracer=tracer, cache=cache
+    )

@@ -66,6 +66,32 @@ def interference_summary(result) -> str:
     )
 
 
+def telemetry_table(aggregated: list[dict]) -> str:
+    """Per-pass telemetry table (pass, calls, wall ms, IR size).
+
+    Takes the output of
+    :func:`repro.service.telemetry.aggregate_passes` — plain dicts, so
+    this module stays independent of the service layer.
+    """
+    if not aggregated:
+        return "(no pass telemetry recorded)"
+    out = StringIO()
+    out.write(
+        f"{'pass':<12}{'calls':>6}{'wall (ms)':>11}{'IR instrs':>11}\n"
+    )
+    total_ms = 0.0
+    for row in aggregated:
+        wall_ms = row["wall_seconds"] * 1e3
+        total_ms += wall_ms
+        instrs = row.get("instructions")
+        out.write(
+            f"{row['name']:<12}{row['calls']:>6}{wall_ms:>11.2f}"
+            f"{instrs if instrs is not None else '-':>11}\n"
+        )
+    out.write(f"{'total':<12}{'':>6}{total_ms:>11.2f}\n")
+    return out.getvalue().rstrip()
+
+
 def full_report(result) -> str:
     parts = [
         reduction_summary(result),

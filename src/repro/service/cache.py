@@ -1,0 +1,289 @@
+"""Content-addressed, disk-backed compilation artifact cache.
+
+Layout (default root ``.repro-cache/``)::
+
+    objects/<fingerprint>/
+        plan        pickled CompilationResult (IR, env, allocation plan)
+        report      human-readable Table-2-style report
+        c_source    the C translation
+        meta.json   fingerprint, pipeline version, entry, timestamps
+        <extras>    optional side artifacts (e.g. bench-<seed>.pkl)
+    bin/<c-hash>/program    compiled binaries (see repro.backend.cc)
+
+Writes are atomic: each entry is materialized in a temporary sibling
+directory and ``os.rename``\\ d into place, so concurrent writers of
+the same fingerprint race benignly (one rename wins, the content is
+identical by construction).  A small in-process LRU keeps hot results
+unpickled.  Corrupted entries (truncated pickle, missing meta) are
+treated as misses: the entry is deleted, the caller recompiles, and
+the subsequent store repairs it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.compiler.pipeline import PIPELINE_VERSION
+from repro.service.fingerprint import (
+    canonical_options,
+    fingerprint_request,
+    fingerprint_text,
+)
+
+DEFAULT_CACHE_ROOT = ".repro-cache"
+
+_PLAN = "plan"
+_REPORT = "report"
+_C_SOURCE = "c_source"
+_META = "meta.json"
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    repairs: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "repairs": self.repairs,
+        }
+
+
+@dataclass(slots=True)
+class _Entry:
+    result: object
+    meta: dict = field(default_factory=dict)
+
+
+class ArtifactCache:
+    """Disk + in-process LRU store keyed by request fingerprint."""
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_ROOT,
+        max_memory_entries: int = 64,
+        pipeline_version: str | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.pipeline_version = (
+            pipeline_version
+            if pipeline_version is not None
+            else PIPELINE_VERSION
+        )
+        self.max_memory_entries = max_memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, _Entry] = OrderedDict()
+
+    # -- keys and paths --------------------------------------------------
+
+    def fingerprint(self, sources, entry=None, options=None) -> str:
+        return fingerprint_request(
+            sources, entry, options, pipeline_version=self.pipeline_version
+        )
+
+    def object_dir(self, fingerprint: str) -> Path:
+        return self.root / "objects" / fingerprint
+
+    # -- pipeline-facing interface ---------------------------------------
+
+    def get_program(self, sources, entry, options, tracer=None):
+        """Cache lookup used by ``pipeline.compile_program``."""
+        fp = self.fingerprint(sources, entry, options)
+        result = self.load(fp)
+        if tracer is not None:
+            tracer.event("cache", hit=result is not None, fingerprint=fp)
+        return result
+
+    def put_program(self, sources, entry, options, result, tracer=None):
+        fp = self.fingerprint(sources, entry, options)
+        meta = {
+            "entry": entry,
+            "options": canonical_options(options),
+            "source_files": sorted(sources),
+        }
+        self.store(fp, result, meta)
+        if tracer is not None:
+            tracer.event("cache_store", fingerprint=fp)
+        return fp
+
+    # -- load / store ----------------------------------------------------
+
+    def load(self, fingerprint: str):
+        """Return the cached CompilationResult, or None on miss.
+
+        A corrupted disk entry counts as a miss: it is removed so the
+        caller's recompile-and-store repairs it.
+        """
+        entry = self._memory.get(fingerprint)
+        if entry is not None:
+            self._memory.move_to_end(fingerprint)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return entry.result
+        directory = self.object_dir(fingerprint)
+        plan_path = directory / _PLAN
+        meta_path = directory / _META
+        if not plan_path.is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("pipeline_version") != self.pipeline_version:
+                raise ValueError("pipeline version mismatch")
+            result = pickle.loads(plan_path.read_bytes())
+        except Exception:
+            # Truncated pickle, unreadable meta, version skew: drop the
+            # entry and report a miss so the caller recompiles.
+            self._remove_entry(directory)
+            self.stats.repairs += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._remember(fingerprint, _Entry(result=result, meta=meta))
+        return result
+
+    def store(self, fingerprint: str, result, meta: dict | None = None):
+        """Atomically write a full entry (plan, report, C, meta)."""
+        from repro.compiler.reports import full_report
+
+        directory = self.object_dir(fingerprint)
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        full_meta = {
+            "fingerprint": fingerprint,
+            "pipeline_version": self.pipeline_version,
+            "created": time.time(),
+            **(meta or {}),
+        }
+        tmp = Path(
+            tempfile.mkdtemp(
+                prefix=f".tmp-{fingerprint[:12]}-", dir=directory.parent
+            )
+        )
+        try:
+            (tmp / _PLAN).write_bytes(
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            (tmp / _REPORT).write_text(full_report(result))
+            (tmp / _C_SOURCE).write_text(result.generate_c())
+            (tmp / _META).write_text(json.dumps(full_meta, indent=2))
+            self._rename_entry(tmp, directory)
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        self.stats.stores += 1
+        self._remember(
+            fingerprint, _Entry(result=result, meta=full_meta)
+        )
+        return directory
+
+    # -- side artifacts (bench records, …) -------------------------------
+
+    def load_extra(self, fingerprint: str, name: str) -> bytes | None:
+        path = self.object_dir(fingerprint) / name
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def store_extra(self, fingerprint: str, name: str, data: bytes) -> None:
+        """Atomic write of a side artifact next to an existing entry."""
+        directory = self.object_dir(fingerprint)
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".tmp-{name}-", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, directory / name)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry (memory + disk); True if anything was removed."""
+        removed = self._memory.pop(fingerprint, None) is not None
+        directory = self.object_dir(fingerprint)
+        if directory.exists():
+            self._remove_entry(directory)
+            removed = True
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of disk entries removed."""
+        self._memory.clear()
+        objects = self.root / "objects"
+        count = 0
+        if objects.is_dir():
+            for child in objects.iterdir():
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+                    count += 1
+        self.stats.invalidations += count
+        return count
+
+    def entries(self) -> list[str]:
+        """Fingerprints currently on disk."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(
+            child.name
+            for child in objects.iterdir()
+            if child.is_dir() and not child.name.startswith(".tmp-")
+        )
+
+    # -- binary cache keys (used by repro.backend.cc) --------------------
+
+    def binary_dir(self, c_source: str) -> Path:
+        return self.root / "bin" / fingerprint_text(c_source)
+
+    # -- internals -------------------------------------------------------
+
+    def _remember(self, fingerprint: str, entry: _Entry) -> None:
+        self._memory[fingerprint] = entry
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    @staticmethod
+    def _rename_entry(tmp: Path, final: Path) -> None:
+        try:
+            os.rename(tmp, final)
+        except OSError:
+            # The entry appeared concurrently (or survives a previous
+            # run).  Content is identical by construction — replace it
+            # wholesale so a partially corrupted loser is repaired.
+            shutil.rmtree(final, ignore_errors=True)
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                pass  # lost the second race too; their copy is fine
+
+    @staticmethod
+    def _remove_entry(directory: Path) -> None:
+        shutil.rmtree(directory, ignore_errors=True)

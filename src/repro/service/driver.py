@@ -1,0 +1,257 @@
+"""Parallel batch compilation driver.
+
+``compile_many`` fans a list of :class:`CompileRequest`\\ s out over a
+``ProcessPoolExecutor``:
+
+* requests are fingerprinted first; duplicate fingerprints in the
+  batch are **single-flighted** — one leader compiles, followers share
+  its result and are marked ``deduped``;
+* leaders are answered from the :class:`~repro.service.cache.
+  ArtifactCache` when possible, so only true misses reach the pool;
+* workers write their artifacts straight into the shared disk cache
+  (atomic renames make the concurrent writes safe) and additionally
+  consult it on entry, which single-flights racing workers across
+  processes on a best-effort basis;
+* any pool-level failure (fork refusal, broken pool, pickling issues)
+  degrades gracefully to in-process serial compilation — the batch
+  still completes, just without the parallelism.
+
+Per-request compile errors are captured on the item (``error``), not
+raised, so one broken program cannot sink a batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pickle import PicklingError
+
+from repro.compiler.pipeline import (
+    CompilerOptions,
+    PIPELINE_VERSION,
+    compile_program,
+)
+from repro.service.fingerprint import fingerprint_request
+from repro.service.telemetry import Tracer
+
+#: Exception types that indicate the *pool* (not the compile) failed
+#: and the batch should fall back to serial execution.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    PicklingError,
+    AttributeError,
+    ImportError,
+    OSError,
+)
+
+
+@dataclass(slots=True)
+class CompileRequest:
+    """One unit of batch work: a set of M-files plus options."""
+
+    sources: dict[str, str]
+    entry: str | None = None
+    options: CompilerOptions | None = None
+    name: str = ""
+
+
+@dataclass(slots=True)
+class BatchItem:
+    """Outcome for one request, in request order."""
+
+    name: str
+    fingerprint: str
+    result: object = None
+    cache_hit: bool = False
+    deduped: bool = False
+    wall_seconds: float = 0.0
+    trace: dict | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "deduped": self.deduped,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass(slots=True)
+class BatchResult:
+    items: list[BatchItem] = field(default_factory=list)
+    executor: str = "serial"
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    def results(self) -> list:
+        return [item.result for item in self.items]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for item in self.items if item.cache_hit)
+
+    @property
+    def errors(self) -> list[BatchItem]:
+        return [item for item in self.items if item.error is not None]
+
+    def to_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "items": [item.to_dict() for item in self.items],
+        }
+
+
+def effective_jobs(jobs: int | None, pending: int) -> int:
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, pending))
+
+
+def parallel_map(func, items, jobs: int | None = None):
+    """``map`` over a process pool, degrading to serial on pool failure.
+
+    Returns ``(results, executor_label)``.  ``func`` must be a
+    module-level (picklable) callable; exceptions raised by ``func``
+    itself propagate — only pool-infrastructure failures trigger the
+    serial fallback.
+    """
+    items = list(items)
+    jobs = effective_jobs(jobs, len(items))
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items], "serial"
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(func, items)), "pool"
+    except _POOL_FAILURES as exc:
+        results = [func(item) for item in items]
+        return results, f"serial (pool failed: {type(exc).__name__})"
+
+
+def _compile_worker(payload: dict) -> dict:
+    """Pool entry point: compile one request, artifacts into the cache.
+
+    Runs in a worker process; must stay a module-level function so the
+    executor can pickle it.
+    """
+    from repro.service.cache import ArtifactCache
+
+    cache = None
+    if payload.get("cache_root"):
+        cache = ArtifactCache(
+            payload["cache_root"],
+            pipeline_version=payload.get(
+                "pipeline_version", PIPELINE_VERSION
+            ),
+        )
+    tracer = Tracer(label=payload.get("name", "")) if payload.get(
+        "trace"
+    ) else None
+    start = time.perf_counter()
+    out: dict = {"fingerprint": payload["fingerprint"]}
+    try:
+        out["result"] = compile_program(
+            payload["sources"],
+            payload["entry"],
+            payload["options"],
+            tracer=tracer,
+            cache=cache,
+        )
+    except Exception as exc:  # captured per-item, not batch-fatal
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    out["wall_seconds"] = time.perf_counter() - start
+    if tracer is not None:
+        out["trace"] = tracer.to_dict()
+    return out
+
+
+def compile_many(
+    requests: list[CompileRequest],
+    jobs: int | None = None,
+    cache=None,
+    trace: bool = False,
+) -> BatchResult:
+    """Compile a batch of requests, in parallel, through the cache."""
+    start = time.perf_counter()
+    items: list[BatchItem] = []
+    leaders: dict[str, BatchItem] = {}
+    pending: list[tuple[BatchItem, CompileRequest]] = []
+
+    for index, request in enumerate(requests):
+        if cache is not None:
+            fp = cache.fingerprint(
+                request.sources, request.entry, request.options
+            )
+        else:
+            fp = fingerprint_request(
+                request.sources, request.entry, request.options
+            )
+        item = BatchItem(
+            name=request.name or f"request-{index}", fingerprint=fp
+        )
+        items.append(item)
+        if fp in leaders:
+            item.deduped = True  # single-flight: follow the leader
+            continue
+        leaders[fp] = item
+        if cache is not None:
+            cached = cache.load(fp)
+            if cached is not None:
+                item.result = cached
+                item.cache_hit = True
+                continue
+        pending.append((item, request))
+
+    executor = "cache"
+    jobs = effective_jobs(jobs, len(pending)) if pending else 1
+    if pending:
+        payloads = [
+            {
+                "name": item.name,
+                "fingerprint": item.fingerprint,
+                "sources": request.sources,
+                "entry": request.entry,
+                "options": request.options,
+                "cache_root": str(cache.root) if cache is not None else "",
+                "pipeline_version": (
+                    cache.pipeline_version
+                    if cache is not None
+                    else PIPELINE_VERSION
+                ),
+                "trace": trace,
+            }
+            for item, request in pending
+        ]
+        outcomes, executor = parallel_map(_compile_worker, payloads, jobs)
+        for (item, _request), outcome in zip(pending, outcomes):
+            item.result = outcome.get("result")
+            item.error = outcome.get("error")
+            item.wall_seconds = outcome["wall_seconds"]
+            item.trace = outcome.get("trace")
+
+    # Single-flight followers inherit their leader's outcome.
+    for item in items:
+        if item.deduped:
+            leader = leaders[item.fingerprint]
+            item.result = leader.result
+            item.cache_hit = leader.cache_hit
+            item.error = leader.error
+
+    return BatchResult(
+        items=items,
+        executor=executor,
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - start,
+    )

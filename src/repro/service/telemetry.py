@@ -1,0 +1,136 @@
+"""Pass-level telemetry for the compilation pipeline.
+
+A :class:`Tracer` is threaded through ``pipeline.compile_program`` as
+an optional injected dependency.  Each pipeline pass runs inside a
+:meth:`Tracer.span`, which records wall time, the IR instruction count
+after the pass, and any pass-specific details (interference-graph
+size, colors, folded queries, …).  Cache hits and misses arrive as
+:meth:`Tracer.event` records.  ``to_dict``/``to_json`` produce the
+machine-readable form consumed by ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PassRecord:
+    """One pipeline pass execution."""
+
+    name: str
+    wall_seconds: float = 0.0
+    instructions: int | None = None
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.instructions is not None:
+            out["instructions"] = self.instructions
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+
+class Tracer:
+    """Collects pass spans and cache events for one or more compiles.
+
+    Implements the same duck-typed interface as the pipeline's
+    internal null tracer: ``span(name, func=None)`` and
+    ``event(name, **details)``.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.passes: list[PassRecord] = []
+        self.events: list[dict] = []
+        self._started = time.time()
+
+    # -- recording ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, func=None):
+        record = PassRecord(name=name)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_seconds = time.perf_counter() - start
+            if func is not None:
+                record.instructions = sum(1 for _ in func.instructions())
+            self.passes.append(record)
+
+    def event(self, name: str, **details) -> None:
+        self.events.append({"name": name, **details})
+
+    # -- cache accounting ----------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e["name"] == "cache" and e.get("hit")
+        )
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e["name"] == "cache" and not e.get("hit")
+        )
+
+    # -- serialization --------------------------------------------------
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(p.wall_seconds for p in self.passes)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "started": self._started,
+            "total_wall_seconds": self.total_wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "passes": [p.to_dict() for p in self.passes],
+            "events": list(self.events),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def aggregate_passes(traces: list[dict]) -> list[dict]:
+    """Merge per-compile traces into per-pass totals (calls, time, IR).
+
+    Accepts ``Tracer.to_dict()`` payloads; preserves first-seen pass
+    order, which for pipeline traces is the pipeline order.
+    """
+    order: list[str] = []
+    totals: dict[str, dict] = {}
+    for trace in traces:
+        for record in trace.get("passes", ()):
+            name = record["name"]
+            if name not in totals:
+                order.append(name)
+                totals[name] = {
+                    "name": name,
+                    "calls": 0,
+                    "wall_seconds": 0.0,
+                    "instructions": None,
+                }
+            agg = totals[name]
+            agg["calls"] += 1
+            agg["wall_seconds"] += record.get("wall_seconds", 0.0)
+            instrs = record.get("instructions")
+            if instrs is not None:
+                agg["instructions"] = (agg["instructions"] or 0) + instrs
+    return [totals[name] for name in order]

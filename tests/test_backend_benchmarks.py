@@ -14,6 +14,8 @@ from repro.backend.cgen import CodegenError, generate_c
 from repro.bench.suite import BENCHMARK_NAMES, compile_benchmark
 from repro.runtime.builtins import RuntimeContext
 
+pytestmark = pytest.mark.slow  # gcc integration over the whole suite
+
 needs_cc = pytest.mark.skipif(
     find_compiler() is None, reason="no C compiler available"
 )

@@ -90,6 +90,7 @@ class TestGenerationProperties:
             )
 
 
+@pytest.mark.slow
 @needs_cc
 class TestDifferentialExecution:
     def test_scalar_arithmetic(self):

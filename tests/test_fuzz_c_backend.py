@@ -14,9 +14,12 @@ from repro.backend.cgen import CodegenError, generate_c
 from repro.compiler.pipeline import compile_source
 from repro.runtime.builtins import RuntimeContext
 
-pytestmark = pytest.mark.skipif(
-    find_compiler() is None, reason="no C compiler available"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        find_compiler() is None, reason="no C compiler available"
+    ),
+]
 
 MATRICES = ["a", "b", "c"]
 SCALARS = ["s", "u"]

@@ -8,11 +8,14 @@ storage sharing like the generated C does, (3) the mcc model, and
 bug by construction.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.compiler.pipeline import compile_source
 from repro.runtime.builtins import RuntimeContext
+
+pytestmark = pytest.mark.slow
 
 MATRICES = ["a", "b", "c"]
 SCALARS = ["s", "u"]
