@@ -8,8 +8,16 @@ Commands:
 * ``run FILES…``      — compile and execute (mat2c/mcc/interp model)
 * ``emit-c FILES…``   — print the C translation
 * ``bench``           — run the paper's experiment harness through the
-  parallel batch driver; writes ``BENCH_<timestamp>.json``
+  parallel batch driver; writes ``BENCH_<timestamp>.json`` at the repo
+  root so the perf trajectory accumulates
 * ``stats``           — render the latest pass-level telemetry JSON
+* ``serve``           — run the long-lived compile server
+  (``repro.server``: bounded admission queue, worker pool, /metrics)
+* ``client``          — submit compiles to a running server over HTTP
+
+Error handling: ``compile`` and ``client`` exit 1 with a message on
+compile/transport errors; ``bench`` exits 1 and prints a summary when
+any benchmark in the batch failed.
 """
 
 from __future__ import annotations
@@ -27,6 +35,22 @@ from repro.compiler.pipeline import (
 )
 from repro.core.gctd import GCTDOptions
 from repro.runtime.builtins import RuntimeContext
+
+
+def _repo_root() -> Path:
+    """Nearest enclosing checkout root, else the working directory.
+
+    ``repro bench`` drops its ``BENCH_<timestamp>.json`` here so
+    successive runs accumulate one perf trajectory per repo no matter
+    which subdirectory they were launched from.
+    """
+    current = Path.cwd()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() or (
+            candidate / ".git"
+        ).exists():
+            return candidate
+    return current
 
 
 def _load(files: list[str]) -> dict[str, str]:
@@ -53,17 +77,27 @@ def _cache_from(args):
     return None
 
 
+def _fail(message: str) -> int:
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 1
+
+
 def cmd_compile(args) -> int:
     from repro.service.telemetry import Tracer
 
     cache = _cache_from(args)
     tracer = Tracer(label="compile") if (args.trace or cache) else None
-    result = compile_program(
-        _load(args.files),
-        options=_options(args),
-        tracer=tracer,
-        cache=cache,
-    )
+    try:
+        result = compile_program(
+            _load(args.files),
+            options=_options(args),
+            tracer=tracer,
+            cache=cache,
+        )
+    except OSError as exc:
+        return _fail(str(exc))
+    except Exception as exc:
+        return _fail(f"{type(exc).__name__}: {exc}")
     stats = result.report
     print(f"entry function        : {result.program.entry}")
     print(f"variables at GCTD     : {stats.original_variable_count}")
@@ -180,7 +214,17 @@ def cmd_bench(args) -> int:
         cache_root=cache_root, jobs=args.jobs, trace=True
     )
     sweep_seconds = time.perf_counter() - start
-    sys.stdout.write(run_all_experiments(records))
+    failures = [info for info in infos if info.get("error")]
+    if failures:
+        # Tables need the full suite; report what broke instead.
+        print(
+            f"{len(failures)} of {len(infos)} benchmark(s) failed:",
+            file=sys.stderr,
+        )
+        for info in failures:
+            print(f"  {info['name']}: {info['error']}", file=sys.stderr)
+    else:
+        sys.stdout.write(run_all_experiments(records))
 
     for info in infos:
         record = records.get(info["name"])
@@ -215,7 +259,9 @@ def cmd_bench(args) -> int:
         },
         "benchmarks": infos,
     }
-    out_dir = Path(args.output_dir or ".")
+    out_dir = (
+        Path(args.output_dir) if args.output_dir else _repo_root()
+    )
     out_dir.mkdir(parents=True, exist_ok=True)
     stamp = (
         time.strftime("%Y%m%d-%H%M%S")
@@ -232,6 +278,87 @@ def cmd_bench(args) -> int:
         f"{hits}/{len(infos)} cache hits -> {out_path}",
         file=sys.stderr,
     )
+    return 1 if failures else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived compile server (see :mod:`repro.server`)."""
+    from repro.server import ServerConfig, serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        cache_root="" if args.no_cache else (
+            args.cache_dir or ".repro-cache"
+        ),
+        batch_jobs=args.batch_jobs,
+        drain_seconds=args.drain_seconds,
+    )
+    if args.workers is not None:
+        config.workers = args.workers
+    try:
+        config.validate()
+    except ValueError as exc:
+        return _fail(str(exc))
+    return serve(config)
+
+
+def cmd_client(args) -> int:
+    """Talk to a running server over HTTP (stdlib urllib only)."""
+    import urllib.error
+
+    from repro.server.client import ServerClient
+
+    client = ServerClient(args.url, timeout=args.timeout)
+    try:
+        if args.action == "health":
+            response = client.health()
+            print(json.dumps(response.payload, indent=2))
+            return 0 if response.ok else 1
+        if args.action == "metrics":
+            sys.stdout.write(client.metrics_text())
+            return 0
+        # action == "compile"
+        options = {}
+        if getattr(args, "no_gctd", False):
+            options["gctd"] = False
+        response = client.compile(
+            _load(args.files),
+            entry=args.entry,
+            options=options or None,
+            deadline_seconds=args.deadline,
+            emit_c=args.emit_c,
+        )
+    except urllib.error.URLError as exc:
+        return _fail(f"cannot reach server at {args.url}: {exc.reason}")
+    except OSError as exc:
+        return _fail(str(exc))
+    if not response.ok:
+        return _fail(
+            f"server returned {response.status}: {response.error}"
+        )
+    payload = response.payload
+    stats = payload["stats"]
+    print(f"entry function        : {payload['entry']}")
+    print(f"variables at GCTD     : {stats['variables']}")
+    print(
+        f"subsumed (s/d)        : "
+        f"{stats['static_subsumed']}/{stats['dynamic_subsumed']}"
+    )
+    print(
+        f"storage reduction     : {stats['storage_reduction_kb']:.2f} KB"
+    )
+    print(
+        f"colors / groups       : "
+        f"{stats['colors']} / {stats['groups']}"
+    )
+    print(f"stack frame           : {stats['stack_frame_bytes']} B")
+    print(f"fingerprint           : {payload['fingerprint'][:16]}…")
+    print(f"cache_hit             : {payload['cache_hit']}")
+    if args.emit_c:
+        sys.stdout.write(payload["c_source"])
     return 0
 
 
@@ -339,6 +466,85 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write BENCH_<timestamp>.json (default: cwd)",
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived compile server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads (default: min(4, cpu count))",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission queue bound; beyond it requests get 429",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="default per-request deadline in seconds",
+    )
+    p_serve.add_argument(
+        "--batch-jobs",
+        type=int,
+        default=1,
+        help="default /v1/batch parallelism",
+    )
+    p_serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="graceful-shutdown drain budget",
+    )
+    p_serve.add_argument("--no-cache", action="store_true")
+    p_serve.add_argument(
+        "--cache-dir", help="cache root (default .repro-cache)"
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="submit work to a running compile server"
+    )
+    client_sub = p_client.add_subparsers(dest="action", required=True)
+    c_compile = client_sub.add_parser(
+        "compile", help="compile M-files on the server"
+    )
+    c_compile.add_argument("files", nargs="+")
+    c_compile.add_argument(
+        "--url", default="http://127.0.0.1:8765"
+    )
+    c_compile.add_argument("--entry", default=None)
+    c_compile.add_argument("--no-gctd", action="store_true")
+    c_compile.add_argument(
+        "--emit-c",
+        action="store_true",
+        help="also print the C translation",
+    )
+    c_compile.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (server default: 60)",
+    )
+    c_compile.add_argument("--timeout", type=float, default=120.0)
+    c_compile.set_defaults(fn=cmd_client)
+    for action in ("health", "metrics"):
+        c_action = client_sub.add_parser(
+            action, help=f"GET the server's {action} endpoint"
+        )
+        c_action.add_argument(
+            "--url", default="http://127.0.0.1:8765"
+        )
+        c_action.add_argument(
+            "--timeout", type=float, default=30.0
+        )
+        c_action.set_defaults(fn=cmd_client)
 
     p_stats = sub.add_parser(
         "stats", help="render pass-level telemetry JSON"

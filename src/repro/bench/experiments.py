@@ -197,7 +197,19 @@ def _record_worker(payload: dict) -> tuple[BenchRecord | None, dict]:
     tracer = (
         Tracer(label=payload["name"]) if payload.get("trace") else None
     )
-    record, info = collect_record(payload["name"], cache, tracer)
+    try:
+        record, info = collect_record(payload["name"], cache, tracer)
+    except Exception as exc:
+        # Per-benchmark failures stay per-benchmark: the sweep
+        # completes and `repro bench` reports them with a nonzero
+        # exit code instead of sinking the whole run.
+        record = None
+        info = {
+            "name": payload["name"],
+            "cache_hit": False,
+            "record_cached": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
     if tracer is not None:
         info["traces"] = [tracer.to_dict()]
     return record, info

@@ -1,0 +1,134 @@
+"""Stdlib HTTP client for the compile server.
+
+``python -m repro client …`` and the test suite talk to a running
+server through this module; it depends only on ``urllib`` so the CLI
+can submit work without any third-party HTTP stack.
+
+Every call returns a :class:`ClientResponse` — error statuses (429,
+504, …) are *data*, not exceptions, because shed load and expired
+deadlines are expected operating conditions a caller must branch on.
+Only transport-level failures (connection refused, DNS) raise, as
+:class:`urllib.error.URLError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ClientResponse:
+    status: int
+    payload: dict = field(default_factory=dict)
+    text: str = ""
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.payload.get("ok", True)
+
+    @property
+    def error(self) -> str | None:
+        if self.status == 200:
+            return None
+        return self.payload.get("error", f"HTTP {self.status}")
+
+
+class ServerClient:
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- endpoints -------------------------------------------------------
+
+    def compile(
+        self,
+        sources: dict[str, str],
+        entry: str | None = None,
+        options: dict | None = None,
+        deadline_seconds: float | None = None,
+        emit_c: bool = False,
+        name: str = "",
+    ) -> ClientResponse:
+        payload: dict = {"sources": sources}
+        if entry is not None:
+            payload["entry"] = entry
+        if options:
+            payload["options"] = options
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if emit_c:
+            payload["emit_c"] = True
+        if name:
+            payload["name"] = name
+        return self.post_json("/v1/compile", payload)
+
+    def batch(
+        self,
+        requests: list[dict],
+        jobs: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> ClientResponse:
+        payload: dict = {"requests": requests}
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self.post_json("/v1/batch", payload)
+
+    def health(self) -> ClientResponse:
+        return self.get("/healthz")
+
+    def ready(self) -> ClientResponse:
+        return self.get("/readyz")
+
+    def metrics_text(self) -> str:
+        return self.get("/metrics").text
+
+    # -- transport -------------------------------------------------------
+
+    def post_json(self, path: str, payload: dict) -> ClientResponse:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._send(request)
+
+    def get(self, path: str) -> ClientResponse:
+        request = urllib.request.Request(
+            self.base_url + path, method="GET"
+        )
+        return self._send(request)
+
+    def _send(self, request: urllib.request.Request) -> ClientResponse:
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return self._wrap(
+                    response.status,
+                    response.read(),
+                    dict(response.headers),
+                )
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx carry a JSON body describing the refusal.
+            body = exc.read()
+            return self._wrap(exc.code, body, dict(exc.headers or {}))
+
+    @staticmethod
+    def _wrap(status: int, body: bytes, headers: dict) -> ClientResponse:
+        text = body.decode("utf-8", errors="replace")
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = {}
+        if not isinstance(payload, dict):
+            payload = {"value": payload}
+        return ClientResponse(
+            status=status, payload=payload, text=text, headers=headers
+        )

@@ -1,0 +1,56 @@
+"""Server configuration.
+
+One frozen-ish dataclass shared by the daemon entry point, the
+embedded test runner, and the CLI.  Every tunable has a conservative
+default sized for a laptop; production deployments override via
+``python -m repro serve`` flags.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+def default_workers() -> int:
+    """Compiles are CPU-bound; more threads than cores only adds churn."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass(slots=True)
+class ServerConfig:
+    host: str = DEFAULT_HOST
+    #: TCP port; 0 binds an ephemeral port (the bound port is reported
+    #: on :attr:`repro.server.app.CompileServer.port`).
+    port: int = DEFAULT_PORT
+    #: Worker threads executing compile/batch jobs.
+    workers: int = field(default_factory=default_workers)
+    #: Bounded admission queue: jobs waiting for a worker beyond this
+    #: are shed with ``429 Retry-After``.
+    queue_limit: int = 64
+    #: Default per-request deadline (seconds); a request can lower or
+    #: raise it via ``deadline_seconds`` up to :attr:`max_deadline`.
+    default_deadline: float = 60.0
+    max_deadline: float = 600.0
+    #: Largest accepted request body, in bytes (413 beyond).
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Artifact cache root; empty string disables caching.
+    cache_root: str = ".repro-cache"
+    #: Default parallelism for ``/v1/batch`` (1 = serial inside the
+    #: worker thread; requests may raise it up to the CPU count).
+    batch_jobs: int = 1
+    #: How long graceful shutdown waits for queued + in-flight jobs.
+    drain_seconds: float = 10.0
+    #: Seconds suggested to shed clients via ``Retry-After``.
+    retry_after: float = 1.0
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0")

@@ -1,0 +1,172 @@
+"""Minimal HTTP/1.1 over asyncio streams (stdlib only).
+
+Just enough protocol for a JSON API scraped by Prometheus: request
+line + headers + ``Content-Length`` bodies in, fixed-length responses
+out, keep-alive by default.  No chunked transfer, no TLS, no
+multipart — callers that need those put a real proxy in front.
+
+Errors are expressed as :class:`HttpError` so handlers can raise
+``HttpError(400, "…")`` anywhere and the connection loop turns it
+into a well-formed JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on one header line / the request line.
+_MAX_LINE = 16 * 1024
+_MAX_HEADERS = 100
+
+
+class HttpError(Exception):
+    """Maps straight to an error response."""
+
+    def __init__(self, status: int, message: str, headers=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass(slots=True)
+class Request:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Request | None:
+    """Parse one request; None on a cleanly closed connection."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # EOF between requests: client hung up
+        raise HttpError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    line = line.strip().decode("latin-1")
+    if not line:
+        return None
+    parts = line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        try:
+            raw = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers") from None
+        if len(raw) > _MAX_LINE:
+            raise HttpError(400, "header line too long")
+        text = raw.strip().decode("latin-1")
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked bodies are not supported")
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: dict | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: dict,
+    extra_headers: dict | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    return render_response(
+        status,
+        body,
+        "application/json; charset=utf-8",
+        extra_headers,
+        keep_alive,
+    )
+
+
+def text_response(
+    status: int, text: str, keep_alive: bool = True
+) -> bytes:
+    return render_response(
+        status,
+        text.encode("utf-8"),
+        "text/plain; version=0.0.4; charset=utf-8",
+        None,
+        keep_alive,
+    )

@@ -1,0 +1,144 @@
+"""Admission control: jobs and the bounded queue in front of the pool.
+
+A :class:`Job` is one unit of work crossing the asyncio/thread
+boundary: the handler coroutine creates it with an ``asyncio.Future``,
+a worker thread executes ``fn`` and delivers the outcome back onto
+the event loop with ``call_soon_threadsafe``.  Outcomes are tagged
+tuples so the HTTP layer can map them to status codes without the
+pool knowing anything about HTTP:
+
+``("ok", payload)``
+    the job function returned ``payload`` (a JSON-able dict);
+``("error", message)``
+    the job function raised a normal :class:`Exception` (a compile
+    error — the request fails, the worker lives);
+``("crash", message)``
+    the job function raised a :class:`BaseException` (the worker
+    thread is lost and respawned; only this request errors);
+``("expired", None)``
+    the deadline passed while the job was still queued.
+
+The :class:`AdmissionQueue` is a bounded FIFO; ``try_put`` refuses
+instead of blocking, which is what lets the server shed load with
+``429`` instead of building an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Worker-thread shutdown sentinel (see :mod:`repro.server.pool`).
+SENTINEL = object()
+
+OK = "ok"
+ERROR = "error"
+CRASH = "crash"
+EXPIRED = "expired"
+
+Outcome = tuple  # (tag, value)
+
+
+@dataclass(slots=True)
+class Job:
+    """One admitted request travelling loop → queue → worker → loop."""
+
+    kind: str                       # endpoint label for metrics
+    fn: object                      # zero-arg callable run on a worker
+    loop: asyncio.AbstractEventLoop
+    future: asyncio.Future
+    deadline: float | None = None   # absolute, time.monotonic() terms
+    #: Set by the handler when it stops waiting (client timeout or
+    #: disconnect); workers skip abandoned jobs and discard results
+    #: that finish after abandonment.
+    abandoned: threading.Event = field(default_factory=threading.Event)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
+
+    def remaining(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def deliver(self, tag: str, value=None) -> None:
+        """Hand an outcome to the waiting handler, from any thread."""
+        try:
+            self.loop.call_soon_threadsafe(self._resolve, (tag, value))
+        except RuntimeError:
+            pass  # loop already closed (shutdown race): nobody is waiting
+
+    def _resolve(self, outcome: Outcome) -> None:
+        if not self.future.done():
+            self.future.set_result(outcome)
+
+
+class AdmissionQueue:
+    """Bounded, thread-safe FIFO with a live depth gauge."""
+
+    def __init__(self, limit: int, depth_gauge=None) -> None:
+        self.limit = limit
+        self._queue: queue.Queue = queue.Queue(maxsize=limit)
+        self._depth_gauge = depth_gauge
+
+    def _update_gauge(self) -> None:
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(self.depth())
+
+    def depth(self) -> int:
+        # qsize() counts sentinels too, but sentinels only exist while
+        # draining, when nobody reads the gauge as load any more.
+        return self._queue.qsize()
+
+    def try_put(self, job: Job) -> bool:
+        """Admit ``job``; False (shed) when the queue is full."""
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            return False
+        self._update_gauge()
+        return True
+
+    def put_sentinel(self) -> None:
+        """Unconditionally enqueue a worker-shutdown sentinel.
+
+        Bypasses the bound on purpose: shutdown must never be refused
+        because clients filled the queue first.
+        """
+        item_queue = self._queue
+        with item_queue.mutex:
+            item_queue.queue.append(SENTINEL)
+            item_queue.unfinished_tasks += 1
+            item_queue.not_empty.notify()
+
+    def get(self):
+        item = self._queue.get()
+        self._update_gauge()
+        return item
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """``queue.join`` with a timeout; True when fully drained."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        q = self._queue
+        with q.all_tasks_done:
+            while q.unfinished_tasks:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                q.all_tasks_done.wait(remaining)
+        return True

@@ -1,0 +1,234 @@
+"""Prometheus-style live metrics (text exposition format 0.0.4).
+
+A tiny, thread-safe metrics registry: counters, gauges, and cumulative
+histograms with labels.  Worker threads and the asyncio loop both
+record into it, so every mutation takes the registry lock — the
+amounts of work involved (a dict update) make contention a non-issue
+at this server's request rates.
+
+Only what ``GET /metrics`` needs is implemented; this is not a client
+library.  Exposition follows the Prometheus text format closely
+enough for ``promtool``/Grafana agents to scrape it.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(names: tuple[str, ...], values: tuple) -> str:
+    if not names:
+        return ""
+    pairs = ", ".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared plumbing: labelled sample storage under the registry lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help_text, labelnames, lock):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._samples: dict[tuple, float] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(labels[name] for name in self.labelnames)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._samples.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            lines = [
+                f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} {self.kind}",
+            ]
+            if not self._samples and not self.labelnames:
+                lines.append(f"{self.name} 0")
+            for key in sorted(self._samples, key=repr):
+                labels = _labels_text(self.labelnames, key)
+                value = _format_value(self._samples[key])
+                lines.append(f"{self.name}{labels} {value}")
+            return lines
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._samples[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Metric):
+    """Cumulative histogram: ``_bucket{le=…}``, ``_sum``, ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames, lock, buckets=None):
+        super().__init__(name, help_text, labelnames, lock)
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        # per label-key: [per-bucket counts…, +Inf count, sum]
+        self._series: dict[tuple, list[float]] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [0.0] * (len(self.buckets) + 2)
+                self._series[key] = series
+            index = bisect_left(self.buckets, value)
+            if index < len(self.buckets):
+                series[index] += 1
+            else:
+                series[len(self.buckets)] += 1  # above every bucket
+            series[len(self.buckets) + 1] += value
+
+    def count(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return 0.0
+            # +Inf bucket is cumulative over everything observed.
+            return sum(series[: len(self.buckets) + 1])
+
+    def render(self) -> list[str]:
+        with self._lock:
+            lines = [
+                f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} {self.kind}",
+            ]
+            for key in sorted(self._series, key=repr):
+                series = self._series[key]
+                base = dict(zip(self.labelnames, key))
+                cumulative = 0.0
+                for bound, count in zip(self.buckets, series):
+                    cumulative += count
+                    labels = _labels_text(
+                        self.labelnames + ("le",),
+                        key + (_format_value(bound),),
+                    )
+                    lines.append(
+                        f"{self.name}_bucket{labels} "
+                        f"{_format_value(cumulative)}"
+                    )
+                cumulative += series[len(self.buckets)]
+                inf_labels = _labels_text(
+                    self.labelnames + ("le",), key + ("+Inf",)
+                )
+                lines.append(
+                    f"{self.name}_bucket{inf_labels} "
+                    f"{_format_value(cumulative)}"
+                )
+                plain = _labels_text(self.labelnames, key)
+                total = series[len(self.buckets) + 1]
+                lines.append(
+                    f"{self.name}_sum{plain} {_format_value(total)}"
+                )
+                lines.append(
+                    f"{self.name}_count{plain} "
+                    f"{_format_value(cumulative)}"
+                )
+            return lines
+
+
+class MetricsRegistry:
+    """Create-and-remember factory; ``render()`` is the scrape body."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name, help_text, labelnames=()) -> Counter:
+        return self._register(
+            Counter(name, help_text, labelnames, self._lock)
+        )
+
+    def gauge(self, name, help_text, labelnames=()) -> Gauge:
+        return self._register(
+            Gauge(name, help_text, labelnames, self._lock)
+        )
+
+    def histogram(
+        self, name, help_text, labelnames=(), buckets=None
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, labelnames, self._lock, buckets)
+        )
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"
+
+    def parse_rendered(self, text: str) -> dict[str, float]:
+        """Inverse of :meth:`render` for tests: sample line → value."""
+        samples: dict[str, float] = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            samples[name] = float(value)
+        return samples

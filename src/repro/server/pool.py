@@ -1,0 +1,142 @@
+"""The worker pool: threads that execute admitted jobs.
+
+Compilation is pure-Python CPU work, so the pool is a fixed set of
+daemon threads feeding off the :class:`~repro.server.jobs.
+AdmissionQueue`.  Three properties matter more than raw parallelism:
+
+* **crash isolation** — a job that raises an ordinary ``Exception``
+  is a failed *request*; a job that raises a ``BaseException``
+  (``SystemExit`` from hostile input, a segfaulting C extension's
+  thread-state corruption, test-injected crashes) kills the worker
+  thread.  Either way only that request errors: the dying worker
+  delivers a ``crash`` outcome on the way down and a supervisor
+  hook respawns a replacement, so capacity is restored without a
+  restart;
+* **deadline awareness** — jobs whose deadline passed while queued
+  are skipped (delivered as ``expired``) without running; jobs
+  abandoned by their handler are skipped the same way;
+* **drainable shutdown** — ``stop()`` enqueues one sentinel per
+  worker, so every job admitted before shutdown still runs, then the
+  threads exit and are joined (bounded by ``timeout``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.server.jobs import (
+    CRASH,
+    ERROR,
+    EXPIRED,
+    OK,
+    SENTINEL,
+    AdmissionQueue,
+    Job,
+)
+
+
+class WorkerPool:
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        size: int,
+        inflight_gauge=None,
+        crash_counter=None,
+    ) -> None:
+        self._queue = queue
+        self.size = size
+        self._inflight_gauge = inflight_gauge
+        self._crash_counter = crash_counter
+        self._lock = threading.Lock()
+        self._threads: set[threading.Thread] = set()
+        self._stopping = False
+        self._spawned = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            self._stopping = False
+            for _ in range(self.size):
+                self._spawn_locked()
+
+    def _spawn_locked(self) -> None:
+        self._spawned += 1
+        thread = threading.Thread(
+            target=self._thread_entry,
+            name=f"repro-worker-{self._spawned}",
+            daemon=True,
+        )
+        self._threads.add(thread)
+        thread.start()
+
+    def alive(self) -> int:
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Drain queued jobs, then stop every worker.
+
+        Sentinels are FIFO-ordered behind all already-admitted jobs,
+        so "stop" means "finish the backlog, then exit".  Returns True
+        when every worker thread exited within ``timeout``.
+        """
+        with self._lock:
+            self._stopping = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._queue.put_sentinel()
+        drained = True
+        for thread in threads:
+            thread.join(timeout)
+            drained = drained and not thread.is_alive()
+        return drained
+
+    # -- the worker loop -------------------------------------------------
+
+    def _thread_entry(self) -> None:
+        crashed = False
+        try:
+            while True:
+                item = self._queue.get()
+                try:
+                    if item is SENTINEL:
+                        return
+                    crashed = self._run_job(item)
+                    if crashed:
+                        return
+                finally:
+                    self._queue.task_done()
+        finally:
+            with self._lock:
+                self._threads.discard(threading.current_thread())
+                if crashed:
+                    if self._crash_counter is not None:
+                        self._crash_counter.inc()
+                    if not self._stopping:
+                        self._spawn_locked()
+
+    def _run_job(self, job: Job) -> bool:
+        """Execute one job; returns True when the worker must die."""
+        if job.abandoned.is_set() or job.expired():
+            job.deliver(EXPIRED)
+            return False
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.inc()
+        try:
+            try:
+                payload = job.fn()
+            except Exception as exc:
+                job.deliver(ERROR, f"{type(exc).__name__}: {exc}")
+            except BaseException as exc:
+                job.deliver(
+                    CRASH,
+                    f"worker crashed: {type(exc).__name__}: {exc}",
+                )
+                return True
+            else:
+                job.deliver(OK, payload)
+            return False
+        finally:
+            if self._inflight_gauge is not None:
+                self._inflight_gauge.dec()

@@ -1,0 +1,106 @@
+"""Run a :class:`CompileServer` on a background thread.
+
+The daemon normally owns the process (``python -m repro serve``), but
+tests — and anything embedding the server next to other work — want a
+server that starts, reports its bound port, and stops on demand.
+``ServerThread`` runs the whole asyncio lifecycle on a private thread
+with its own event loop:
+
+    with ServerThread(ServerConfig(port=0)) as server:
+        client = ServerClient(server.url)
+        …
+
+Startup failures (port in use, bad config) re-raise in the entering
+thread instead of leaving a half-started daemon behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.server.app import CompileServer
+from repro.server.config import ServerConfig
+
+
+class ServerThread:
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        cache=None,
+        compile_impl=None,
+        batch_impl=None,
+        startup_timeout: float = 10.0,
+    ) -> None:
+        self.config = config or ServerConfig(port=0)
+        self._kwargs = {
+            "cache": cache,
+            "compile_impl": compile_impl,
+            "batch_impl": batch_impl,
+        }
+        self._startup_timeout = startup_timeout
+        self.server: CompileServer | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None and self.server.port is not None
+        return self.server.url
+
+    # -- the private loop ------------------------------------------------
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surface startup failures
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self.server = CompileServer(self.config, **self._kwargs)
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()

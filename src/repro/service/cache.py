@@ -26,6 +26,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -90,6 +91,10 @@ class ArtifactCache:
         self.max_memory_entries = max_memory_entries
         self.stats = CacheStats()
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
+        # The server's worker threads share one cache; the in-process
+        # LRU (ordered-dict reordering + eviction) needs a lock.  Disk
+        # writes stay lock-free — they are atomic renames by design.
+        self._lock = threading.RLock()
 
     # -- keys and paths --------------------------------------------------
 
@@ -131,12 +136,13 @@ class ArtifactCache:
         A corrupted disk entry counts as a miss: it is removed so the
         caller's recompile-and-store repairs it.
         """
-        entry = self._memory.get(fingerprint)
-        if entry is not None:
-            self._memory.move_to_end(fingerprint)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            return entry.result
+        with self._lock:
+            entry = self._memory.get(fingerprint)
+            if entry is not None:
+                self._memory.move_to_end(fingerprint)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return entry.result
         directory = self.object_dir(fingerprint)
         plan_path = directory / _PLAN
         meta_path = directory / _META
@@ -224,7 +230,8 @@ class ArtifactCache:
 
     def invalidate(self, fingerprint: str) -> bool:
         """Drop one entry (memory + disk); True if anything was removed."""
-        removed = self._memory.pop(fingerprint, None) is not None
+        with self._lock:
+            removed = self._memory.pop(fingerprint, None) is not None
         directory = self.object_dir(fingerprint)
         if directory.exists():
             self._remove_entry(directory)
@@ -235,7 +242,8 @@ class ArtifactCache:
 
     def clear(self) -> int:
         """Drop every entry; returns the number of disk entries removed."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         objects = self.root / "objects"
         count = 0
         if objects.is_dir():
@@ -265,10 +273,11 @@ class ArtifactCache:
     # -- internals -------------------------------------------------------
 
     def _remember(self, fingerprint: str, entry: _Entry) -> None:
-        self._memory[fingerprint] = entry
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[fingerprint] = entry
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
 
     @staticmethod
     def _rename_entry(tmp: Path, final: Path) -> None:

@@ -104,6 +104,25 @@ class BatchResult:
     def errors(self) -> list[BatchItem]:
         return [item for item in self.items if item.error is not None]
 
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status for CLI callers: 1 if any item failed."""
+        return 0 if self.ok else 1
+
+    def error_summary(self) -> str:
+        """One line per failed item, for stderr reporting."""
+        lines = [
+            f"  {item.name}: {item.error}" for item in self.errors
+        ]
+        header = (
+            f"{len(lines)} of {len(self.items)} batch item(s) failed:"
+        )
+        return "\n".join([header, *lines])
+
     def to_dict(self) -> dict:
         return {
             "executor": self.executor,

@@ -74,3 +74,48 @@ class TestArgumentErrors:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestErrorExitCodes:
+    def test_compile_bad_source_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "broken.m"
+        bad.write_text("a = ones(4\n")  # unbalanced paren
+        assert main(["compile", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+
+    def test_compile_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["compile", str(tmp_path / "nope.m")]) == 1
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_bench_reports_failed_benchmarks(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.bench.experiments as experiments
+
+        def fake_collect_records(cache_root=None, jobs=1, trace=False):
+            infos = [
+                {"name": "clos", "cache_hit": False, "error": "boom"},
+                {"name": "fdtd", "cache_hit": False},
+            ]
+            return {}, infos, "serial"
+
+        monkeypatch.setattr(
+            experiments, "collect_records", fake_collect_records
+        )
+        code = main(
+            [
+                "bench",
+                "--no-cache",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "1 of 2 benchmark(s) failed" in err
+        assert "clos: boom" in err
+        # The BENCH artifact still lands, recording the failure.
+        bench_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(bench_files) == 1
+        assert '"error": "boom"' in bench_files[0].read_text()

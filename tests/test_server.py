@@ -1,0 +1,598 @@
+"""Tests for the long-lived compile server (:mod:`repro.server`).
+
+Fast lane, no gcc: every compile here is compile-only (the server
+never executes programs).  Robustness scenarios — deadline expiry,
+worker crashes, load shedding, graceful drain — inject tiny job
+bodies through the ``compile_impl`` seam so they run in milliseconds;
+the end-to-end compile paths use the real pipeline on small programs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.server.metrics import MetricsRegistry
+
+PROGRAM = "a = ones(4); b = a * 2; disp(sum(sum(b)));\n"
+OTHER_PROGRAM = "x = zeros(5); y = x + 3; disp(sum(sum(y)));\n"
+
+
+def make_config(tmp_path, **overrides) -> ServerConfig:
+    values = {
+        "port": 0,
+        "workers": 2,
+        "queue_limit": 8,
+        "cache_root": str(tmp_path / "cache"),
+        "drain_seconds": 5.0,
+    }
+    values.update(overrides)
+    return ServerConfig(**values)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServerThread(make_config(tmp_path)) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    return ServerClient(server.url, timeout=30.0)
+
+
+# --------------------------------------------------------------------------
+# Metrics registry
+# --------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_and_render(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "requests_total", "Requests.", ("endpoint",)
+        )
+        requests.inc(endpoint="/a")
+        requests.inc(2, endpoint="/b")
+        text = registry.render()
+        assert '# TYPE requests_total counter' in text
+        assert 'requests_total{endpoint="/a"} 1' in text
+        assert 'requests_total{endpoint="/b"} 2' in text
+
+    def test_counter_rejects_negative_and_bad_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "C.", ("x",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, x="a")
+        with pytest.raises(ValueError):
+            counter.inc(y="a")
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+        assert "depth 4" in registry.render()
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert hist.count() == 3
+
+    def test_duplicate_metric_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "again")
+
+
+# --------------------------------------------------------------------------
+# Health, readiness, routing
+# --------------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def test_healthz(self, client):
+        response = client.health()
+        assert response.status == 200
+        assert response.payload["ok"] is True
+        assert response.payload["workers_alive"] == 2
+
+    def test_readyz(self, client):
+        response = client.ready()
+        assert response.status == 200
+        assert response.payload["ready"] is True
+
+    def test_unknown_route_is_404(self, client):
+        response = client.get("/nope")
+        assert response.status == 404
+        assert response.payload["ok"] is False
+
+    def test_wrong_method_is_405(self, client):
+        response = client.post_json("/healthz", {})
+        assert response.status == 405
+
+    def test_bad_json_is_400(self, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/v1/compile",
+            data=b"not json{",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        client = ServerClient(server.url)
+        response = client._send(request)
+        assert response.status == 400
+        assert "JSON" in response.payload["error"]
+
+    def test_missing_sources_is_400(self, client):
+        response = client.post_json("/v1/compile", {"entry": "x"})
+        assert response.status == 400
+        assert "sources" in response.payload["error"]
+
+    def test_unknown_option_is_400(self, client):
+        response = client.post_json(
+            "/v1/compile",
+            {"sources": {"a.m": "x = 1;"}, "options": {"frob": 1}},
+        )
+        assert response.status == 400
+        assert "frob" in response.payload["error"]
+
+
+# --------------------------------------------------------------------------
+# Compile endpoint (real pipeline, compile-only)
+# --------------------------------------------------------------------------
+
+
+class TestCompileEndpoint:
+    def test_compile_reports_stats(self, client):
+        response = client.compile({"prog.m": PROGRAM})
+        assert response.ok
+        payload = response.payload
+        assert payload["entry"] == "prog"
+        assert payload["stats"]["variables"] > 0
+        assert payload["stats"]["stack_frame_bytes"] > 0
+        assert len(payload["fingerprint"]) == 64
+        assert "report" in payload
+        assert "c_source" not in payload
+
+    def test_emit_c(self, client):
+        response = client.compile({"prog.m": PROGRAM}, emit_c=True)
+        assert response.ok
+        assert "int main(void)" in response.payload["c_source"]
+
+    def test_repeat_submission_hits_cache(self, client):
+        first = client.compile({"prog.m": PROGRAM})
+        second = client.compile({"prog.m": PROGRAM})
+        assert first.payload["cache_hit"] is False
+        assert second.payload["cache_hit"] is True
+        assert (
+            first.payload["fingerprint"]
+            == second.payload["fingerprint"]
+        )
+
+    def test_options_change_fingerprint(self, client):
+        default = client.compile({"prog.m": PROGRAM})
+        nogctd = client.compile(
+            {"prog.m": PROGRAM}, options={"gctd": False}
+        )
+        assert nogctd.payload["cache_hit"] is False
+        assert (
+            default.payload["fingerprint"]
+            != nogctd.payload["fingerprint"]
+        )
+        assert nogctd.payload["stats"]["static_subsumed"] == 0
+
+    def test_compile_error_is_422(self, client):
+        response = client.compile({"prog.m": "x = ) nope"})
+        assert response.status == 422
+        assert "MatlabSyntaxError" in response.payload["error"]
+
+    def test_cache_metrics_exposed(self, client):
+        client.compile({"prog.m": PROGRAM})
+        client.compile({"prog.m": PROGRAM})
+        text = client.metrics_text()
+        samples = MetricsRegistry().parse_rendered(text)
+        assert samples["repro_cache_hits_total"] == 1
+        assert samples["repro_cache_misses_total"] == 1
+        assert (
+            samples['repro_compiles_total{result="ok"}'] == 2
+        )
+        # Pass telemetry aggregates into per-pass counters.
+        assert any(
+            name.startswith("repro_pass_seconds_total")
+            for name in samples
+        )
+
+
+# --------------------------------------------------------------------------
+# Batch endpoint
+# --------------------------------------------------------------------------
+
+
+class TestBatchEndpoint:
+    def test_batch_dedups_and_reports_items(self, client):
+        response = client.batch(
+            [
+                {"sources": {"p.m": PROGRAM}, "name": "one"},
+                {"sources": {"p.m": PROGRAM}, "name": "two"},
+                {"sources": {"q.m": OTHER_PROGRAM}, "name": "three"},
+            ],
+            jobs=1,
+        )
+        assert response.status == 200
+        items = {
+            item["name"]: item for item in response.payload["items"]
+        }
+        assert response.payload["ok"] is True
+        assert items["two"]["deduped"] is True
+        assert items["one"]["deduped"] is False
+        assert items["three"]["fingerprint"] != items["one"]["fingerprint"]
+
+    def test_batch_partial_failure_reported_per_item(self, client):
+        response = client.batch(
+            [
+                {"sources": {"p.m": PROGRAM}, "name": "good"},
+                {"sources": {"q.m": "x = ) nope"}, "name": "bad"},
+            ],
+            jobs=1,
+        )
+        assert response.status == 200
+        assert response.payload["ok"] is False
+        items = {
+            item["name"]: item for item in response.payload["items"]
+        }
+        assert items["good"]["ok"] is True
+        assert items["bad"]["ok"] is False
+        assert "MatlabSyntaxError" in items["bad"]["error"]
+
+    def test_batch_validation_error_is_400(self, client):
+        response = client.post_json("/v1/batch", {"requests": []})
+        assert response.status == 400
+
+
+# --------------------------------------------------------------------------
+# Deadlines and cancellation
+# --------------------------------------------------------------------------
+
+
+class TestDeadlines:
+    def test_running_job_deadline_expires(self, tmp_path):
+        def slow_impl(payload):
+            time.sleep(3.0)
+            return {"ok": True}
+
+        config = make_config(tmp_path, workers=1)
+        with ServerThread(config, compile_impl=slow_impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            start = time.monotonic()
+            response = client.compile(
+                {"p.m": "x = 1;"}, deadline_seconds=0.2
+            )
+            elapsed = time.monotonic() - start
+            assert response.status == 504
+            assert "deadline" in response.payload["error"]
+            assert elapsed < 2.0  # answered at the deadline, not after
+
+    def test_queued_job_expires_without_running(self, tmp_path):
+        ran = []
+
+        def impl(payload):
+            if payload.get("name") == "blocker":
+                time.sleep(1.0)
+            ran.append(payload.get("name"))
+            return {"ok": True, "name": payload.get("name")}
+
+        config = make_config(tmp_path, workers=1)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            blocker = threading.Thread(
+                target=client.compile,
+                args=({"p.m": "x = 1;"},),
+                kwargs={"name": "blocker"},
+            )
+            blocker.start()
+            time.sleep(0.2)  # let the blocker occupy the only worker
+            response = client.compile(
+                {"p.m": "y = 2;"},
+                deadline_seconds=0.1,
+                name="victim",
+            )
+            blocker.join()
+            assert response.status == 504
+            assert "victim" not in ran  # skipped, never executed
+
+    def test_deadline_metric_counted(self, tmp_path):
+        def slow_impl(payload):
+            time.sleep(1.0)
+            return {"ok": True}
+
+        config = make_config(tmp_path, workers=1)
+        with ServerThread(config, compile_impl=slow_impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            client.compile({"p.m": "x = 1;"}, deadline_seconds=0.1)
+            samples = MetricsRegistry().parse_rendered(
+                client.metrics_text()
+            )
+            assert samples["repro_deadline_expired_total"] >= 1
+
+    def test_invalid_deadline_is_400(self, client):
+        response = client.post_json(
+            "/v1/compile",
+            {"sources": {"a.m": "x = 1;"}, "deadline_seconds": -1},
+        )
+        assert response.status == 400
+
+
+# --------------------------------------------------------------------------
+# Worker crash recovery
+# --------------------------------------------------------------------------
+
+
+class _InjectedCrash(BaseException):
+    """Not an Exception: simulates a worker-killing failure."""
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_errors_request_but_not_server(self, tmp_path):
+        def impl(payload):
+            if "CRASH" in next(iter(payload["sources"].values())):
+                raise _InjectedCrash("boom")
+            return {"ok": True, "survived": True}
+
+        config = make_config(tmp_path, workers=2)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            crashed = client.compile({"p.m": "% CRASH\n"})
+            assert crashed.status == 500
+            assert "crash" in crashed.payload["error"].lower()
+
+            # The server keeps serving and capacity is restored.
+            for _ in range(4):
+                response = client.compile({"p.m": "x = 1;"})
+                assert response.status == 200
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                health = client.health()
+                if health.payload["workers_alive"] == 2:
+                    break
+                time.sleep(0.05)
+            assert health.payload["workers_alive"] == 2
+            samples = MetricsRegistry().parse_rendered(
+                client.metrics_text()
+            )
+            assert samples["repro_worker_crashes_total"] == 1
+
+    def test_every_worker_crashing_still_recovers(self, tmp_path):
+        def impl(payload):
+            if "CRASH" in next(iter(payload["sources"].values())):
+                raise _InjectedCrash("boom")
+            return {"ok": True}
+
+        config = make_config(tmp_path, workers=2)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            for _ in range(4):
+                assert (
+                    client.compile({"p.m": "% CRASH\n"}).status == 500
+                )
+            assert client.compile({"p.m": "x = 1;"}).status == 200
+
+
+# --------------------------------------------------------------------------
+# Load shedding
+# --------------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_with_retry_after(self, tmp_path):
+        release = threading.Event()
+
+        def impl(payload):
+            release.wait(10.0)
+            return {"ok": True}
+
+        config = make_config(tmp_path, workers=1, queue_limit=1)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            statuses = []
+            threads = [
+                threading.Thread(
+                    target=lambda: statuses.append(
+                        client.compile({"p.m": "x = 1;"}).status
+                    )
+                )
+                for _ in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            # Wait until the worker + queue slots are pinned and the
+            # overflow requests have been shed.
+            deadline = time.monotonic() + 5.0
+            while (
+                len(statuses) < 4 and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            release.set()
+            for thread in threads:
+                thread.join(10.0)
+            assert len(statuses) == 6
+            assert statuses.count(429) >= 1
+            assert statuses.count(200) >= 1
+            assert set(statuses) <= {200, 429}
+            samples = MetricsRegistry().parse_rendered(
+                client.metrics_text()
+            )
+            assert samples["repro_shed_total"] == statuses.count(429)
+
+    def test_shed_response_carries_retry_after(self, tmp_path):
+        release = threading.Event()
+
+        def impl(payload):
+            release.wait(10.0)
+            return {"ok": True}
+
+        config = make_config(tmp_path, workers=1, queue_limit=1)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+
+            def occupy():
+                # Retry on shed: right after startup the worker may
+                # not have drained the first filler yet, in which
+                # case one of these is legitimately refused.
+                while client.compile({"p.m": "x = 1;"}).status == 429:
+                    time.sleep(0.02)
+
+            background = [
+                threading.Thread(target=occupy) for _ in range(2)
+            ]
+            for thread in background:
+                thread.start()
+            # Wait until the only worker is busy and the queue slot is
+            # taken, so the next submission must be shed.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                ready = client.ready()
+                if ready.payload.get("queue_depth", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            shed = None
+            while time.monotonic() < deadline:
+                response = client.compile(
+                    {"p.m": "x = 1;"}, deadline_seconds=0.2
+                )
+                if response.status == 429:
+                    shed = response
+                    break
+                time.sleep(0.02)
+            release.set()
+            for thread in background:
+                thread.join(10.0)
+            assert shed is not None, "queue never filled"
+            headers = {
+                name.lower(): value
+                for name, value in shed.headers.items()
+            }
+            assert "retry-after" in headers
+
+
+# --------------------------------------------------------------------------
+# Graceful shutdown
+# --------------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_completes_during_drain(self, tmp_path):
+        started = threading.Event()
+
+        def impl(payload):
+            started.set()
+            time.sleep(0.5)
+            return {"ok": True, "drained": True}
+
+        config = make_config(tmp_path, workers=1)
+        server = ServerThread(config, compile_impl=impl).start()
+        client = ServerClient(server.url, timeout=30.0)
+        result: dict = {}
+
+        def submit():
+            result["response"] = client.compile({"p.m": "x = 1;"})
+
+        submitter = threading.Thread(target=submit)
+        submitter.start()
+        assert started.wait(5.0)
+        server.stop()
+        submitter.join(10.0)
+        response = result["response"]
+        assert response.status == 200
+        assert response.payload["drained"] is True
+
+    def test_stopped_server_refuses_connections(self, tmp_path):
+        import urllib.error
+
+        server = ServerThread(make_config(tmp_path)).start()
+        url = server.url
+        client = ServerClient(url, timeout=5.0)
+        assert client.health().status == 200
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            client.health()
+
+
+# --------------------------------------------------------------------------
+# CLI integration (serve is covered by CI smoke; client runs here)
+# --------------------------------------------------------------------------
+
+
+class TestClientCli:
+    @pytest.fixture
+    def mfile(self, tmp_path):
+        path = tmp_path / "prog.m"
+        path.write_text(PROGRAM)
+        return str(path)
+
+    def test_client_compile_round_trip(self, server, mfile, capsys):
+        assert (
+            main(["client", "compile", mfile, "--url", server.url])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "variables at GCTD" in out
+        assert "cache_hit             : False" in out
+        assert (
+            main(["client", "compile", mfile, "--url", server.url])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache_hit             : True" in out
+
+    def test_client_emit_c(self, server, mfile, capsys):
+        main(
+            [
+                "client", "compile", mfile,
+                "--url", server.url, "--emit-c",
+            ]
+        )
+        assert "int main(void)" in capsys.readouterr().out
+
+    def test_client_compile_error_exits_nonzero(
+        self, server, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.m"
+        bad.write_text("x = ) nope\n")
+        code = main(
+            ["client", "compile", str(bad), "--url", server.url]
+        )
+        assert code == 1
+        assert "422" in capsys.readouterr().err
+
+    def test_client_health_and_metrics(self, server, capsys):
+        assert main(["client", "health", "--url", server.url]) == 0
+        assert '"ok": true' in capsys.readouterr().out
+        assert main(["client", "metrics", "--url", server.url]) == 0
+        assert "repro_requests_total" in capsys.readouterr().out
+
+    def test_client_unreachable_server_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "client", "health",
+                "--url", "http://127.0.0.1:9",  # discard port
+                "--timeout", "2",
+            ]
+        )
+        assert code == 1
+        assert "cannot reach server" in capsys.readouterr().err
