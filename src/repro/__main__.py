@@ -11,13 +11,19 @@ Commands:
   parallel batch driver; writes ``BENCH_<timestamp>.json`` at the repo
   root so the perf trajectory accumulates
 * ``stats``           — render the latest pass-level telemetry JSON
+* ``verify``          — run the independent plan checker (and,
+  optionally, the differential-execution harness) over given M-files
+  or the whole benchmark suite (``--suite``)
+* ``api-schema``      — print the typed wire-format schema; ``--check``
+  diffs it against the committed ``api-schema.json``
 * ``serve``           — run the long-lived compile server
   (``repro.server``: bounded admission queue, worker pool, /metrics)
 * ``client``          — submit compiles to a running server over HTTP
 
 Error handling: ``compile`` and ``client`` exit 1 with a message on
 compile/transport errors; ``bench`` exits 1 and prints a summary when
-any benchmark in the batch failed.
+any benchmark in the batch failed; ``verify`` exits 1 when any check
+finds a violation or any model disagrees.
 """
 
 from __future__ import annotations
@@ -93,6 +99,7 @@ def cmd_compile(args) -> int:
             options=_options(args),
             tracer=tracer,
             cache=cache,
+            verify_plan=args.verify_plan,
         )
     except OSError as exc:
         return _fail(str(exc))
@@ -154,6 +161,142 @@ def cmd_compile(args) -> int:
         from repro.service.stats import write_telemetry
 
         write_telemetry(tracer.to_dict(), cache.root)
+    if result.verification is not None:
+        print()
+        print(result.verification.summary())
+        if not result.verification.ok:
+            return 1
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Run the plan checker (and optionally the differential harness).
+
+    ``--suite`` verifies every benchmark program; otherwise the given
+    M-files are compiled and verified as one program.  Exit status is
+    1 as soon as any plan shows a violation or any execution model
+    disagrees with the interpreter oracle.
+    """
+    from repro.verify import run_differential, verify_compilation
+
+    if args.suite:
+        from repro.bench.suite import BENCHMARK_NAMES, compile_benchmark
+
+        targets = [
+            (name, lambda name=name: compile_benchmark(name))
+            for name in BENCHMARK_NAMES
+        ]
+    elif args.files:
+        targets = [
+            (
+                Path(args.files[0]).stem,
+                lambda: compile_program(
+                    _load(args.files), options=_options(args)
+                ),
+            )
+        ]
+    else:
+        return _fail("verify needs M-files or --suite")
+
+    failures = 0
+    for name, compile_fn in targets:
+        try:
+            result = compile_fn()
+        except Exception as exc:
+            failures += 1
+            print(f"{name}: compile failed: {exc}")
+            continue
+        report = verify_compilation(result)
+        print(f"{name}: {report.summary()}")
+        if not report.ok:
+            failures += 1
+        if args.differential:
+            diff = run_differential(result, name=name)
+            print(f"{name}: {diff.summary()}")
+            if not diff.ok:
+                failures += 1
+        if args.mutation:
+            from repro.verify import flip_one_coalescing, verify_plan
+
+            mutation = flip_one_coalescing(result)
+            if mutation is None:
+                print(f"{name}: mutation: no coalescing to flip")
+            else:
+                mutated = verify_plan(
+                    result.ssa_func, result.env, mutation.plan
+                )
+                a, b = mutation.merged
+                if mutated.ok:
+                    failures += 1
+                    print(
+                        f"{name}: mutation MISSED — merged "
+                        f"interfering '{a}'/'{b}' went unflagged"
+                    )
+                else:
+                    print(
+                        f"{name}: mutation flagged "
+                        f"({len(mutated.violations)} violations "
+                        f"after merging '{a}'/'{b}')"
+                    )
+    if failures:
+        print(f"verify: {failures} failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _schema_golden_path() -> Path:
+    """The committed ``api-schema.json``.
+
+    Prefers the enclosing checkout (so ``--write`` lands next to the
+    sources being edited), but falls back to the root of the installed
+    package's source tree — the golden belongs to the code, not to
+    whatever directory the command was launched from.
+    """
+    cwd_golden = _repo_root() / "api-schema.json"
+    if cwd_golden.is_file():
+        return cwd_golden
+    import repro
+
+    source_golden = (
+        Path(repro.__file__).resolve().parents[2] / "api-schema.json"
+    )
+    if source_golden.is_file():
+        return source_golden
+    return cwd_golden
+
+
+def cmd_api_schema(args) -> int:
+    """Print, write, or check the typed wire-format schema."""
+    from repro.api import schema_compatibility_problems, schema_text
+
+    golden_path = _schema_golden_path()
+    if args.write:
+        golden_path.write_text(schema_text())
+        print(f"wrote {golden_path}")
+        return 0
+    if args.check:
+        if not golden_path.is_file():
+            return _fail(
+                f"no golden schema at {golden_path} "
+                "(run `repro api-schema --write`)"
+            )
+        golden = json.loads(golden_path.read_text())
+        current = json.loads(schema_text())
+        problems = schema_compatibility_problems(golden, current)
+        if problems:
+            for problem in problems:
+                print(f"schema drift: {problem}", file=sys.stderr)
+            return 1
+        if golden != current:
+            print(
+                "schema changed compatibly; refresh the golden file "
+                "with `repro api-schema --write`",
+                file=sys.stderr,
+            )
+            return 1
+        print("api schema matches the committed golden file")
+        return 0
+    sys.stdout.write(schema_text())
     return 0
 
 
@@ -330,15 +473,16 @@ def cmd_client(args) -> int:
             options=options or None,
             deadline_seconds=args.deadline,
             emit_c=args.emit_c,
+            verify_plan=args.verify_plan,
         )
     except urllib.error.URLError as exc:
         return _fail(f"cannot reach server at {args.url}: {exc.reason}")
     except OSError as exc:
         return _fail(str(exc))
     if not response.ok:
-        return _fail(
-            f"server returned {response.status}: {response.error}"
-        )
+        # the server answers non-2xx with a {code, message, detail}
+        # envelope; render it as one line and exit nonzero
+        return _fail(response.envelope().summary())
     payload = response.payload
     stats = payload["stats"]
     print(f"entry function        : {payload['entry']}")
@@ -357,8 +501,17 @@ def cmd_client(args) -> int:
     print(f"stack frame           : {stats['stack_frame_bytes']} B")
     print(f"fingerprint           : {payload['fingerprint'][:16]}…")
     print(f"cache_hit             : {payload['cache_hit']}")
+    verification = payload.get("verification")
+    if verification is not None:
+        verdict = "sound" if verification["ok"] else "UNSOUND"
+        print(
+            f"plan verification     : {verdict} "
+            f"({len(verification['violations'])} violations)"
+        )
     if args.emit_c:
         sys.stdout.write(payload["c_source"])
+    if verification is not None and not verification["ok"]:
+        return 1
     return 0
 
 
@@ -424,7 +577,51 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print pass-level telemetry",
     )
+    p_compile.add_argument(
+        "--verify-plan",
+        action="store_true",
+        help="run the independent plan checker as a post-pass",
+    )
     p_compile.set_defaults(fn=cmd_compile)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check allocation-plan soundness (repro.verify)",
+    )
+    p_verify.add_argument("files", nargs="*")
+    p_verify.add_argument(
+        "--suite",
+        action="store_true",
+        help="verify every benchmark program",
+    )
+    p_verify.add_argument(
+        "--differential",
+        action="store_true",
+        help="also run all execution models and diff outputs/meters",
+    )
+    p_verify.add_argument(
+        "--mutation",
+        action="store_true",
+        help="self-test: flip one coalescing decision and require "
+        "the checker to flag it",
+    )
+    p_verify.add_argument("--no-gctd", action="store_true")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_schema = sub.add_parser(
+        "api-schema", help="print the typed wire-format schema"
+    )
+    p_schema.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed api-schema.json",
+    )
+    p_schema.add_argument(
+        "--write",
+        action="store_true",
+        help="refresh the committed api-schema.json",
+    )
+    p_schema.set_defaults(fn=cmd_api_schema)
 
     p_run = sub.add_parser("run", help="compile and execute")
     p_run.add_argument("files", nargs="+")
@@ -525,6 +722,11 @@ def main(argv: list[str] | None = None) -> int:
         "--emit-c",
         action="store_true",
         help="also print the C translation",
+    )
+    c_compile.add_argument(
+        "--verify-plan",
+        action="store_true",
+        help="ask the server to run the plan checker",
     )
     c_compile.add_argument(
         "--deadline",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.pass_manager import PassStatistics, run_cleanup_pipeline
 from repro.core.gctd import GCTDOptions, GCTDResult, run_gctd
+from repro.core.optionset import OptionSet
 from repro.frontend import ast_nodes as ast
 from repro.frontend.parser import parse_program
 from repro.interp.interpreter import InterpResult, interpret
@@ -41,7 +42,8 @@ _MAX_INFERENCE_ROUNDS = 4
 #: Version of the translation pipeline itself.  Part of every artifact
 #: fingerprint (see :mod:`repro.service.fingerprint`); bump it whenever
 #: a pass change makes previously cached compilation results stale.
-PIPELINE_VERSION = "1"
+#: "2": CompilationResult grew the `verification` field (plan checker).
+PIPELINE_VERSION = "2"
 
 
 class _NullSpan:
@@ -73,7 +75,7 @@ _NULL_TRACER = _NullTracer()
 
 
 @dataclass(slots=True)
-class CompilerOptions:
+class CompilerOptions(OptionSet):
     gctd: GCTDOptions = field(default_factory=GCTDOptions)
     enable_cse: bool = True
     enable_constfold: bool = True
@@ -91,6 +93,9 @@ class CompilationResult:
     pass_stats: PassStatistics
     options: CompilerOptions
     identity_copies_folded: int = 0
+    #: result of the independent plan checker (see :mod:`repro.verify`);
+    #: None unless the compilation ran with ``verify_plan=True``.
+    verification: object = None
 
     @property
     def plan(self):
@@ -149,6 +154,7 @@ def compile_program(
     *,
     tracer=None,
     cache=None,
+    verify_plan: bool = False,
 ) -> CompilationResult:
     """Compile a set of M-files (filename → text).
 
@@ -157,17 +163,35 @@ def compile_program(
     statistics, a cache short-circuits the whole pipeline when an
     identical request (same sources, options, and pipeline version)
     has been compiled before.
+
+    ``verify_plan=True`` runs the independent plan checker
+    (:mod:`repro.verify`) as a post-pass and stores its report on
+    ``result.verification``.  Verification never alters the artifact
+    — it is not part of the fingerprint, so a cached result is
+    verified on retrieval when the cached copy lacks a report.
     """
     options = options or CompilerOptions()
     tracer = tracer if tracer is not None else _NULL_TRACER
     if cache is not None:
         cached = cache.get_program(sources, entry, options, tracer=tracer)
         if cached is not None:
+            if verify_plan and cached.verification is None:
+                _verify_result(cached, tracer)
             return cached
     result = _run_pipeline(sources, entry, options, tracer)
+    if verify_plan:
+        _verify_result(result, tracer)
     if cache is not None:
         cache.put_program(sources, entry, options, result, tracer=tracer)
     return result
+
+
+def _verify_result(result: CompilationResult, tracer) -> None:
+    from repro.verify import verify_compilation
+
+    with tracer.span("verify", result.ssa_func) as sp:
+        result.verification = verify_compilation(result)
+        sp.details["violations"] = len(result.verification.violations)
 
 
 def _run_pipeline(

@@ -44,10 +44,11 @@ from repro.core.interference import (
     build_interference_graph,
 )
 from repro.core.opsem import OpsemConfig, add_operator_semantics_interference
+from repro.core.optionset import OptionSet
 
 
 @dataclass(slots=True)
-class GCTDOptions:
+class GCTDOptions(OptionSet):
     enabled: bool = True                 # Figure 6's on/off switch
     opsem: OpsemConfig = field(default_factory=OpsemConfig)
     phi_coalescing: bool = True

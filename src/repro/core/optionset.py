@@ -1,0 +1,87 @@
+"""Canonical dict round-trip for option dataclasses.
+
+Every options object in the pipeline (``CompilerOptions``,
+``GCTDOptions``, ``OpsemConfig``) inherits :class:`OptionSet`, which
+derives one canonical ``to_dict()``/``from_dict()`` pair from the
+dataclass fields themselves:
+
+* ``to_dict`` emits keys in sorted order with nested option sets
+  recursively flattened — the exact form the artifact-cache
+  fingerprint hashes, so "same options" always means "same dict";
+* ``from_dict`` is the single parser: it rejects unknown keys (a
+  typo'd ablation flag must fail loudly, not silently compile with
+  defaults) and recursively rebuilds nested option sets.
+
+The service fingerprint and the server's wire format both consume
+this round-trip instead of maintaining private canonicalizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, fields, is_dataclass
+
+
+class UnknownOptionError(ValueError):
+    """A dict carried keys no field of the options class matches."""
+
+
+class OptionSet:
+    """Mixin giving a dataclass the canonical dict round-trip."""
+
+    __slots__ = ()
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in sorted(fields(self), key=lambda f: f.name):
+            value = getattr(self, f.name)
+            out[f.name] = (
+                value.to_dict() if isinstance(value, OptionSet) else value
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "OptionSet":
+        if data is None:
+            return cls()
+        if isinstance(data, cls):
+            return data
+        if not isinstance(data, dict):
+            raise UnknownOptionError(
+                f"{cls.__name__} expects a dict, got {type(data).__name__}"
+            )
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise UnknownOptionError(
+                f"unknown {cls.__name__} keys: {unknown}"
+            )
+        kwargs: dict = {}
+        for name, value in data.items():
+            nested = _nested_type(known[name])
+            if nested is not None:
+                kwargs[name] = (
+                    value
+                    if isinstance(value, nested)
+                    else nested.from_dict(value)
+                )
+            else:
+                kwargs[name] = value
+        return cls(**kwargs)
+
+
+def _nested_type(field) -> type | None:
+    """The nested OptionSet class of a field, if it holds one.
+
+    Nested option sets always use ``default_factory=<their class>``,
+    which is how the parser discovers the type without evaluating
+    string annotations.
+    """
+    factory = field.default_factory
+    if (
+        factory is not MISSING
+        and isinstance(factory, type)
+        and is_dataclass(factory)
+        and issubclass(factory, OptionSet)
+    ):
+        return factory
+    return None

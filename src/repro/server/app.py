@@ -48,30 +48,27 @@ _ENDPOINTS = ("/v1/compile", "/v1/batch", "/healthz", "/readyz", "/metrics")
 
 
 def compiler_options_from(payload: dict | None):
-    """Build :class:`CompilerOptions` from the request's options dict."""
-    from repro.compiler.pipeline import CompilerOptions
-    from repro.core.gctd import GCTDOptions
+    """Build :class:`CompilerOptions` from the request's options dict.
 
-    payload = payload or {}
-    unknown = set(payload) - {"gctd", "cse", "constfold", "shapefold"}
-    if unknown:
-        raise HttpError(400, f"unknown options: {sorted(unknown)}")
-    return CompilerOptions(
-        gctd=GCTDOptions(enabled=bool(payload.get("gctd", True))),
-        enable_cse=bool(payload.get("cse", True)),
-        enable_constfold=bool(payload.get("constfold", True)),
-        enable_shapefold=bool(payload.get("shapefold", True)),
-    )
+    Thin wrapper over the typed facade
+    (:func:`repro.api.options_from_wire`) that converts validation
+    failures to HTTP 400 — the wire semantics live in ``repro.api``.
+    """
+    from repro.api import ApiValidationError, options_from_wire
+
+    try:
+        return options_from_wire(payload)
+    except ApiValidationError as exc:
+        raise HttpError(400, str(exc)) from None
 
 
 def _validated_sources(payload: dict) -> dict[str, str]:
-    sources = payload.get("sources")
-    if not isinstance(sources, dict) or not sources:
-        raise HttpError(400, "missing 'sources' (filename -> M text)")
-    for name, text in sources.items():
-        if not isinstance(name, str) or not isinstance(text, str):
-            raise HttpError(400, "'sources' must map str -> str")
-    return sources
+    from repro.api import ApiValidationError, validated_sources
+
+    try:
+        return validated_sources(payload)
+    except ApiValidationError as exc:
+        raise HttpError(400, str(exc)) from None
 
 
 class CompileServer:
@@ -172,6 +169,16 @@ class CompileServer:
             "Batch items by disposition.",
             ("disposition",),  # compiled | cache_hit | deduped | error
         )
+        self._verifications = m.counter(
+            "repro_plan_verifications_total",
+            "Plan verifications by verdict.",
+            ("verdict",),  # ok | unsound
+        )
+        self._verify_violations = m.counter(
+            "repro_plan_violations_total",
+            "Plan-verifier violations by check.",
+            ("check",),
+        )
 
     def _record_trace(self, tracer) -> None:
         self._cache_hits.inc(tracer.cache_hits)
@@ -186,19 +193,23 @@ class CompileServer:
     # -- job bodies (run on worker threads) ------------------------------
 
     def _do_compile(self, payload: dict) -> dict:
+        from repro.api import CompileRequest, CompileResponse
         from repro.compiler.pipeline import compile_program
         from repro.compiler.reports import full_report
         from repro.service.fingerprint import fingerprint_request
         from repro.service.telemetry import Tracer
 
-        sources = payload["sources"]
-        entry = payload.get("entry")
-        options = compiler_options_from(payload.get("options"))
-        tracer = Tracer(label=payload.get("name", "server"))
+        request = CompileRequest.from_wire(payload)
+        tracer = Tracer(label=request.name or "server")
         start = time.perf_counter()
         try:
             result = compile_program(
-                sources, entry, options, tracer=tracer, cache=self.cache
+                request.sources,
+                request.entry,
+                request.options,
+                tracer=tracer,
+                cache=self.cache,
+                verify_plan=request.verify_plan,
             )
         except Exception:
             self._compiles.inc(result="error")
@@ -207,32 +218,33 @@ class CompileServer:
         wall = time.perf_counter() - start
         self._compiles.inc(result="ok")
         self._record_trace(tracer)
+        if result.verification is not None:
+            verdict = "ok" if result.verification.ok else "unsound"
+            self._verifications.inc(verdict=verdict)
+            for violation in result.verification.violations:
+                self._verify_violations.inc(check=violation.check)
         if self.cache is not None:
-            fingerprint = self.cache.fingerprint(sources, entry, options)
+            fingerprint = self.cache.fingerprint(
+                request.sources, request.entry, request.options
+            )
         else:
-            fingerprint = fingerprint_request(sources, entry, options)
-        stats = result.report
-        response = {
-            "ok": True,
-            "name": payload.get("name", ""),
-            "fingerprint": fingerprint,
-            "cache_hit": tracer.cache_hits > 0,
-            "entry": result.program.entry,
-            "wall_seconds": wall,
-            "stats": {
-                "variables": stats.original_variable_count,
-                "static_subsumed": stats.static_subsumed,
-                "dynamic_subsumed": stats.dynamic_subsumed,
-                "storage_reduction_kb": stats.storage_reduction_kb,
-                "colors": stats.color_count,
-                "groups": stats.group_count,
-                "stack_frame_bytes": result.plan.stack_frame_bytes(),
-            },
-            "report": full_report(result),
-        }
-        if payload.get("emit_c"):
-            response["c_source"] = result.generate_c()
-        return response
+            fingerprint = fingerprint_request(
+                request.sources, request.entry, request.options
+            )
+        response = CompileResponse.from_result(
+            result,
+            name=request.name,
+            fingerprint=fingerprint,
+            cache_hit=tracer.cache_hits > 0,
+            wall_seconds=wall,
+            report=full_report(result),
+            emit_c=request.emit_c,
+        )
+        if not request.verify_plan:
+            # a cached artifact may carry a report from an earlier
+            # verify run; only answer what this request asked for
+            response.verification = None
+        return response.to_wire()
 
     def _parse_batch(self, payload: dict):
         """Validate a batch payload; HttpError(400) on bad requests.
@@ -241,24 +253,14 @@ class CompileServer:
         rejected before admission) and again by the worker to build
         the actual :class:`CompileRequest` list.
         """
-        from repro.service.driver import CompileRequest
+        from repro.api import ApiValidationError, BatchRequest
 
-        raw_items = payload.get("requests")
-        if not isinstance(raw_items, list) or not raw_items:
-            raise HttpError(400, "missing 'requests' (list of compiles)")
-        requests = []
-        for index, raw in enumerate(raw_items):
-            if not isinstance(raw, dict):
-                raise HttpError(400, f"requests[{index}] must be an object")
-            requests.append(
-                CompileRequest(
-                    sources=_validated_sources(raw),
-                    entry=raw.get("entry"),
-                    options=compiler_options_from(raw.get("options")),
-                    name=str(raw.get("name", "") or f"request-{index}"),
-                )
-            )
-        jobs = payload.get("jobs") or self.config.batch_jobs
+        try:
+            batch = BatchRequest.from_wire(payload)
+        except ApiValidationError as exc:
+            raise HttpError(400, str(exc)) from None
+        requests = batch.items
+        jobs = batch.jobs or self.config.batch_jobs
         try:
             jobs = max(1, min(int(jobs), os.cpu_count() or 1))
         except (TypeError, ValueError):
@@ -366,10 +368,18 @@ class CompileServer:
     def _error_bytes(
         self, exc: HttpError, endpoint: str, keep_alive: bool = False
     ) -> bytes:
+        from repro.api import ErrorEnvelope, code_for_status
+
         self._requests.inc(endpoint=endpoint, status=str(exc.status))
+        envelope = ErrorEnvelope(
+            code=exc.code or code_for_status(exc.status),
+            message=exc.message,
+            detail=exc.detail or {},
+            status=exc.status,
+        )
         return json_response(
             exc.status,
-            {"ok": False, "error": exc.message},
+            envelope.to_wire(),
             extra_headers=exc.headers,
             keep_alive=keep_alive,
         )
@@ -428,8 +438,7 @@ class CompileServer:
             if method != "POST":
                 raise HttpError(405, "use POST")
             payload = request.json()
-            _validated_sources(payload)
-            compiler_options_from(payload.get("options"))  # 400 early
+            self._validate_compile(payload)  # 400 before admission
             return await self._submit(
                 "/v1/compile",
                 functools.partial(self._compile_impl, payload),
@@ -446,6 +455,15 @@ class CompileServer:
                 self._deadline_from(payload),
             )
         raise HttpError(404, f"no route for {method} {path}")
+
+    def _validate_compile(self, payload: dict) -> None:
+        """Typed validation on the event loop; HttpError(400) early."""
+        from repro.api import ApiValidationError, CompileRequest
+
+        try:
+            CompileRequest.from_wire(payload)
+        except ApiValidationError as exc:
+            raise HttpError(400, str(exc)) from None
 
     # -- admission and outcome mapping -----------------------------------
 
@@ -480,6 +498,9 @@ class CompileServer:
                 headers={
                     "Retry-After": f"{self.config.retry_after:g}"
                 },
+                detail={
+                    "retry_after_seconds": self.config.retry_after
+                },
             )
         try:
             tag, value = await asyncio.wait_for(
@@ -491,6 +512,7 @@ class CompileServer:
             raise HttpError(
                 504,
                 f"deadline of {deadline_seconds:g}s exceeded",
+                detail={"deadline_seconds": deadline_seconds},
             ) from None
         except asyncio.CancelledError:
             job.abandoned.set()
@@ -502,6 +524,10 @@ class CompileServer:
             raise HttpError(
                 504,
                 f"deadline of {deadline_seconds:g}s exceeded in queue",
+                detail={
+                    "deadline_seconds": deadline_seconds,
+                    "where": "queue",
+                },
             )
         if tag == CRASH:
             raise HttpError(500, value)

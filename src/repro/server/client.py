@@ -36,6 +36,12 @@ class ClientResponse:
             return None
         return self.payload.get("error", f"HTTP {self.status}")
 
+    def envelope(self):
+        """The typed error envelope for a non-2xx response."""
+        from repro.api import ErrorEnvelope
+
+        return ErrorEnvelope.from_wire(self.payload, self.status)
+
 
 class ServerClient:
     def __init__(self, base_url: str, timeout: float = 120.0) -> None:
@@ -52,6 +58,7 @@ class ServerClient:
         deadline_seconds: float | None = None,
         emit_c: bool = False,
         name: str = "",
+        verify_plan: bool = False,
     ) -> ClientResponse:
         payload: dict = {"sources": sources}
         if entry is not None:
@@ -62,6 +69,8 @@ class ServerClient:
             payload["deadline_seconds"] = deadline_seconds
         if emit_c:
             payload["emit_c"] = True
+        if verify_plan:
+            payload["verify_plan"] = True
         if name:
             payload["name"] = name
         return self.post_json("/v1/compile", payload)

@@ -35,13 +35,28 @@ _MAX_HEADERS = 100
 
 
 class HttpError(Exception):
-    """Maps straight to an error response."""
+    """Maps straight to an error response.
 
-    def __init__(self, status: int, message: str, headers=None) -> None:
+    ``code`` and ``detail`` feed the API error envelope; when ``code``
+    is None the renderer derives one from the status
+    (:func:`repro.api.code_for_status`).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers=None,
+        *,
+        code: str | None = None,
+        detail: dict | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.headers = dict(headers or {})
+        self.code = code
+        self.detail = dict(detail or {})
 
 
 @dataclass(slots=True)

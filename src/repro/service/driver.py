@@ -29,8 +29,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pickle import PicklingError
 
+from repro.api.types import CompileRequest
 from repro.compiler.pipeline import (
-    CompilerOptions,
     PIPELINE_VERSION,
     compile_program,
 )
@@ -48,14 +48,9 @@ _POOL_FAILURES = (
 )
 
 
-@dataclass(slots=True)
-class CompileRequest:
-    """One unit of batch work: a set of M-files plus options."""
-
-    sources: dict[str, str]
-    entry: str | None = None
-    options: CompilerOptions | None = None
-    name: str = ""
+# The request type is the API facade's — one definition serves the
+# CLI, this driver, and the server wire format.
+__all__ = ["CompileRequest", "BatchItem", "BatchResult", "compile_many"]
 
 
 @dataclass(slots=True)

@@ -25,6 +25,7 @@ from dataclasses import fields, is_dataclass
 from enum import Enum
 
 from repro.compiler.pipeline import PIPELINE_VERSION, CompilerOptions
+from repro.core.optionset import OptionSet
 
 
 def normalize_source(text: str) -> str:
@@ -39,6 +40,11 @@ def canonical_options(options) -> dict:
     canonicalizes to the same form as an explicit ``CompilerOptions()``
     — otherwise the same request would get two fingerprints depending
     on which spelling the caller used.
+
+    Option sets canonicalize through their own ``to_dict`` (the
+    round-trip :class:`repro.core.optionset.OptionSet` defines); the
+    generic dataclass walk below remains only for non-OptionSet values
+    nested inside.
     """
     if options is None:
         options = CompilerOptions()
@@ -46,6 +52,11 @@ def canonical_options(options) -> dict:
 
 
 def _canonical(value):
+    if isinstance(value, OptionSet):
+        return {
+            key: _canonical(val)
+            for key, val in value.to_dict().items()
+        }
     if is_dataclass(value) and not isinstance(value, type):
         return {
             f.name: _canonical(getattr(value, f.name))

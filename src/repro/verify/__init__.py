@@ -1,0 +1,47 @@
+"""`repro.verify` — independent soundness checks for allocation plans.
+
+Two layers, both deliberately separate from the code that *builds*
+plans:
+
+* the static checker (:mod:`repro.verify.checker`) re-derives the
+  paper's interference, in-place-legality, resize-mark, and stack
+  criteria from its own dataflow (:mod:`repro.verify.dataflow`) and
+  reports violations;
+* the differential harness (:mod:`repro.verify.differential`) executes
+  the program under every model and diffs outputs and memory meters.
+
+The mutation self-test (:mod:`repro.verify.mutate`) keeps the checker
+honest by manufacturing unsound plans it must flag.
+"""
+
+from repro.verify.checker import verify_compilation, verify_plan
+from repro.verify.dataflow import (
+    recompute_availability,
+    recompute_liveness,
+)
+from repro.verify.differential import (
+    DEFAULT_SEED,
+    DifferentialReport,
+    run_differential,
+)
+from repro.verify.mutate import PlanMutation, flip_one_coalescing
+from repro.verify.report import (
+    ALL_CHECKS,
+    PlanViolation,
+    VerificationReport,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "DEFAULT_SEED",
+    "DifferentialReport",
+    "PlanMutation",
+    "PlanViolation",
+    "VerificationReport",
+    "flip_one_coalescing",
+    "recompute_availability",
+    "recompute_liveness",
+    "run_differential",
+    "verify_compilation",
+    "verify_plan",
+]

@@ -1,0 +1,80 @@
+"""Mutation self-test: prove the verifier can actually catch a bug.
+
+A verifier that reports "all clean" on every input is worthless; this
+module manufactures a *known-unsound* plan by flipping exactly one
+coalescing decision — merging two storage groups whose members the
+interference graph says conflict — and the self-test then asserts the
+static checker flags the mutant.  The original plan is never touched
+(the mutation works on a deep copy).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.core.allocation import AllocationPlan, StorageClass
+
+
+@dataclass(slots=True)
+class PlanMutation:
+    """One flipped coalescing decision."""
+
+    plan: AllocationPlan          # the mutated (unsound) plan
+    merged: tuple[str, str]       # interfering pair now sharing storage
+    target_gid: int               # group that absorbed the other
+    source_gid: int               # group whose members moved
+
+
+def flip_one_coalescing(result) -> PlanMutation | None:
+    """Merge two groups across a known interference edge.
+
+    Picks the pair deterministically, preferring groups of the same
+    storage class and intrinsic (the most plausible-looking unsound
+    merge — exactly what a buggy Phase 2 would produce).  Returns
+    ``None`` when the plan has nothing to flip (e.g. the trivial
+    one-group-per-variable plan of the no-GCTD ablation, whose graph
+    carries no edges worth testing).
+    """
+    graph = result.gctd.graph
+    plan = result.plan
+    candidates: list[tuple[int, str, str]] = []
+    names = sorted(plan.group_of)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if plan.same_storage(a, b):
+                continue
+            if not graph.interferes(a, b):
+                continue
+            ga, gb = plan.group(a), plan.group(b)
+            score = 0
+            if ga.storage is gb.storage:
+                score += 2
+            if ga.intrinsic == gb.intrinsic:
+                score += 1
+            candidates.append((-score, a, b))
+    if not candidates:
+        return None
+    _, a, b = min(candidates)
+
+    mutated = copy.deepcopy(plan)
+    target = mutated.group(a)
+    source = mutated.group(b)
+    for member in source.members:
+        mutated.group_of[member] = target.gid
+    target.members = sorted(target.members + source.members)
+    source.members = []
+    if target.storage is StorageClass.STACK:
+        if source.static_size is None:
+            target.storage = StorageClass.HEAP
+            target.static_size = None
+        else:
+            target.static_size = max(
+                target.static_size or 0, source.static_size
+            )
+    return PlanMutation(
+        plan=mutated,
+        merged=(a, b),
+        target_gid=target.gid,
+        source_gid=source.gid,
+    )

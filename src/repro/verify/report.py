@@ -1,0 +1,86 @@
+"""Verification result types.
+
+A :class:`VerificationReport` is the static checker's verdict on one
+:class:`~repro.core.allocation.AllocationPlan`; it serializes to the
+wire (the server's ``verification`` response key) and prints as a
+human-readable summary for ``repro verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: check identifiers, in the order the checker runs them.
+CHECK_COVERAGE = "coverage"
+CHECK_LIVENESS = "liveness"
+CHECK_OPSEM = "opsem"
+CHECK_RESIZE = "resize"
+CHECK_STACK = "stack"
+
+ALL_CHECKS = (
+    CHECK_COVERAGE,
+    CHECK_LIVENESS,
+    CHECK_OPSEM,
+    CHECK_RESIZE,
+    CHECK_STACK,
+)
+
+
+@dataclass(slots=True)
+class PlanViolation:
+    """One soundness defect found in an allocation plan."""
+
+    check: str                 # which check flagged it (ALL_CHECKS)
+    message: str               # human-readable description
+    names: tuple[str, ...] = ()  # the SSA names involved
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "message": self.message,
+            "names": list(self.names),
+        }
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Outcome of the static plan checks."""
+
+    violations: list[PlanViolation] = field(default_factory=list)
+    checks_run: tuple[str, ...] = ALL_CHECKS
+    variables_checked: int = 0
+    groups_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        out = {check: 0 for check in self.checks_run}
+        for v in self.violations:
+            out[v.check] = out.get(v.check, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": self.counts(),
+            "variables": self.variables_checked,
+            "groups": self.groups_checked,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"plan OK: {self.variables_checked} variables in "
+                f"{self.groups_checked} groups, "
+                f"{len(self.checks_run)} checks clean"
+            )
+        lines = [
+            f"plan UNSOUND: {len(self.violations)} violation(s) across "
+            f"{self.variables_checked} variables"
+        ]
+        for v in self.violations:
+            lines.append(f"  [{v.check}] {v.message}")
+        return "\n".join(lines)

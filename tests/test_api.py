@@ -1,0 +1,443 @@
+"""Tests for the typed API facade (:mod:`repro.api`).
+
+Three layers: the options round-trip (property-based), the wire
+types against committed golden fixtures (so the `/v1` format cannot
+drift silently), and the server's error envelope on every refusal
+path (429/500/504 via the ``compile_impl`` seam)."""
+
+import json
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api import (
+    ApiValidationError,
+    BatchRequest,
+    CompileRequest,
+    CompileResponse,
+    CompileStats,
+    ErrorEnvelope,
+    UnknownOptionError,
+    code_for_status,
+    options_from_wire,
+    options_to_wire,
+)
+from repro.compiler.pipeline import CompilerOptions
+from repro.core.gctd import GCTDOptions
+from repro.core.opsem import OpsemConfig
+from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.service.fingerprint import canonical_options
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+PROGRAM = "a = ones(4); b = a * 2; disp(sum(sum(b)));\n"
+
+
+def fixture(name: str) -> dict:
+    return json.loads((FIXTURES / name).read_text())
+
+
+# --------------------------------------------------------------------------
+# options round-trip
+# --------------------------------------------------------------------------
+
+
+def option_sets():
+    opsem = st.builds(
+        OpsemConfig,
+        use_type_info=st.booleans(),
+        enabled=st.booleans(),
+    )
+    gctd = st.builds(
+        GCTDOptions,
+        enabled=st.booleans(),
+        opsem=opsem,
+        phi_coalescing=st.booleans(),
+        phase2_symbolic=st.booleans(),
+        verify=st.booleans(),
+    )
+    return st.builds(
+        CompilerOptions,
+        gctd=gctd,
+        enable_cse=st.booleans(),
+        enable_constfold=st.booleans(),
+        enable_shapefold=st.booleans(),
+        max_steps=st.integers(min_value=1, max_value=10**9),
+    )
+
+
+class TestOptionSetRoundTrip:
+    @given(option_sets())
+    def test_to_dict_from_dict_round_trips(self, options):
+        rebuilt = CompilerOptions.from_dict(options.to_dict())
+        assert rebuilt == options
+        assert rebuilt.to_dict() == options.to_dict()
+
+    @given(option_sets())
+    def test_to_dict_keys_sorted_recursively(self, options):
+        def check(d):
+            assert list(d) == sorted(d)
+            for value in d.values():
+                if isinstance(value, dict):
+                    check(value)
+
+        check(options.to_dict())
+
+    def test_from_dict_defaults(self):
+        assert CompilerOptions.from_dict(None) == CompilerOptions()
+        assert CompilerOptions.from_dict({}) == CompilerOptions()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(UnknownOptionError) as exc:
+            CompilerOptions.from_dict({"frobnicate": True})
+        assert "frobnicate" in str(exc.value)
+
+    def test_from_dict_rejects_nested_unknown_keys(self):
+        with pytest.raises(UnknownOptionError):
+            CompilerOptions.from_dict({"gctd": {"bogus": 1}})
+
+    def test_nested_rebuild(self):
+        options = CompilerOptions.from_dict(
+            {"gctd": {"enabled": False, "opsem": {"enabled": False}}}
+        )
+        assert isinstance(options.gctd, GCTDOptions)
+        assert isinstance(options.gctd.opsem, OpsemConfig)
+        assert not options.gctd.enabled
+        assert not options.gctd.opsem.enabled
+
+    @given(option_sets())
+    def test_canonical_options_consumes_to_dict(self, options):
+        assert canonical_options(options) == options.to_dict()
+
+
+# --------------------------------------------------------------------------
+# wire options
+# --------------------------------------------------------------------------
+
+
+class TestWireOptions:
+    def test_defaults(self):
+        assert options_from_wire(None) == CompilerOptions()
+        assert options_from_wire({}) == CompilerOptions()
+        assert options_to_wire(CompilerOptions()) == {}
+        assert options_to_wire(None) == {}
+
+    def test_unknown_key_message_matches_server(self):
+        with pytest.raises(ApiValidationError) as exc:
+            options_from_wire({"frob": 1})
+        assert str(exc.value) == "unknown options: ['frob']"
+
+    def test_round_trip(self):
+        wire = {"gctd": False, "cse": False}
+        options = options_from_wire(wire)
+        assert not options.gctd.enabled
+        assert not options.enable_cse
+        assert options_to_wire(options) == {"gctd": False, "cse": False}
+
+
+# --------------------------------------------------------------------------
+# golden fixtures
+# --------------------------------------------------------------------------
+
+
+class TestGoldenFixtures:
+    def golden_request(self) -> CompileRequest:
+        return CompileRequest(
+            sources={"main.m": "a = ones(3); disp(sum(sum(a)));\n"},
+            entry="main",
+            options=options_from_wire({"gctd": False, "cse": False}),
+            name="golden",
+            verify_plan=True,
+            deadline_seconds=12.5,
+        )
+
+    def test_compile_request_matches_golden(self):
+        assert self.golden_request().to_wire() == fixture(
+            "compile_request.json"
+        )
+
+    def test_compile_request_round_trips(self):
+        wire = fixture("compile_request.json")
+        assert CompileRequest.from_wire(wire).to_wire() == wire
+
+    def test_batch_request_matches_golden(self):
+        batch = BatchRequest(items=[self.golden_request()], jobs=2)
+        assert batch.to_wire() == fixture("batch_request.json")
+        rebuilt = BatchRequest.from_wire(fixture("batch_request.json"))
+        assert rebuilt.to_wire() == fixture("batch_request.json")
+
+    def test_compile_response_matches_golden(self):
+        response = CompileResponse(
+            ok=True,
+            name="golden",
+            fingerprint="f" * 64,
+            cache_hit=False,
+            entry="main",
+            wall_seconds=0.25,
+            stats=CompileStats(
+                variables=12,
+                static_subsumed=4,
+                dynamic_subsumed=1,
+                storage_reduction_kb=0.5,
+                colors=3,
+                groups=5,
+                stack_frame_bytes=96,
+            ),
+            report="== report ==",
+            verification={
+                "ok": True,
+                "checks": {},
+                "variables": 12,
+                "groups": 5,
+                "violations": [],
+            },
+        )
+        assert response.to_wire() == fixture("compile_response.json")
+        rebuilt = CompileResponse.from_wire(
+            fixture("compile_response.json")
+        )
+        assert rebuilt.to_wire() == fixture("compile_response.json")
+
+    def test_response_key_order_is_stable(self):
+        # the pre-facade server emitted exactly this order; clients
+        # diffing raw JSON depend on it staying put
+        wire = CompileResponse(
+            ok=True, stats=CompileStats()
+        ).to_wire()
+        assert list(wire) == [
+            "ok",
+            "name",
+            "fingerprint",
+            "cache_hit",
+            "entry",
+            "wall_seconds",
+            "stats",
+            "report",
+        ]
+
+    def test_error_envelope_matches_golden(self):
+        envelope = ErrorEnvelope(
+            code="queue_full",
+            message="compile queue is full, retry later",
+            detail={"retry_after_seconds": 1.0},
+            status=429,
+        )
+        assert envelope.to_wire() == fixture("error_envelope.json")
+
+    def test_error_envelope_keeps_legacy_keys(self):
+        wire = ErrorEnvelope(code="bad_request", message="nope").to_wire()
+        assert wire["ok"] is False
+        assert wire["error"] == "nope"  # pre-envelope clients read this
+
+
+# --------------------------------------------------------------------------
+# request validation and envelope parsing
+# --------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_missing_sources(self):
+        with pytest.raises(ApiValidationError) as exc:
+            CompileRequest.from_wire({})
+        assert "missing 'sources'" in str(exc.value)
+
+    def test_bad_source_types(self):
+        with pytest.raises(ApiValidationError) as exc:
+            CompileRequest.from_wire({"sources": {"a.m": 3}})
+        assert "'sources' must map str -> str" in str(exc.value)
+
+    def test_bad_entry(self):
+        with pytest.raises(ApiValidationError):
+            CompileRequest.from_wire(
+                {"sources": {"a.m": "x = 1\n"}, "entry": 7}
+            )
+
+    def test_batch_missing_requests(self):
+        with pytest.raises(ApiValidationError) as exc:
+            BatchRequest.from_wire({})
+        assert "missing 'requests'" in str(exc.value)
+
+    def test_batch_names_defaulted_by_index(self):
+        batch = BatchRequest.from_wire(
+            {
+                "requests": [
+                    {"sources": {"a.m": "x = 1\n"}},
+                    {"sources": {"b.m": "x = 2\n"}, "name": "named"},
+                ]
+            }
+        )
+        assert [item.name for item in batch.items] == [
+            "request-0",
+            "named",
+        ]
+
+    def test_envelope_from_legacy_body(self):
+        envelope = ErrorEnvelope.from_wire(
+            {"ok": False, "error": "kaput"}, 500
+        )
+        assert envelope.code == "internal_error"
+        assert envelope.message == "kaput"
+        assert envelope.status == 500
+
+    def test_envelope_from_empty_body(self):
+        envelope = ErrorEnvelope.from_wire(None, 504)
+        assert envelope.code == "deadline_exceeded"
+        assert "504" in envelope.message
+
+    def test_code_for_status_covers_server_statuses(self):
+        for status in (400, 404, 405, 413, 422, 429, 500, 503, 504):
+            assert not code_for_status(status).startswith("http_")
+        assert code_for_status(418) == "http_418"
+
+    def test_summary_mentions_status_code_and_message(self):
+        envelope = ErrorEnvelope.from_wire(
+            {"code": "queue_full", "message": "full",
+             "detail": {"retry_after_seconds": 2}},
+            429,
+        )
+        line = envelope.summary()
+        assert "429" in line
+        assert "queue_full" in line
+        assert "full" in line
+        assert "retry after 2s" in line
+
+
+# --------------------------------------------------------------------------
+# server refusal paths carry the envelope
+# --------------------------------------------------------------------------
+
+
+def make_config(tmp_path, **overrides) -> ServerConfig:
+    values = {
+        "port": 0,
+        "workers": 1,
+        "queue_limit": 8,
+        "cache_root": str(tmp_path / "cache"),
+        "drain_seconds": 5.0,
+    }
+    values.update(overrides)
+    return ServerConfig(**values)
+
+
+def assert_envelope(response, status: int, code: str) -> ErrorEnvelope:
+    assert response.status == status
+    payload = response.payload
+    # legacy keys stay for pre-envelope clients…
+    assert payload["ok"] is False
+    assert payload["error"] == payload["message"]
+    # …and the typed envelope rides along
+    assert payload["code"] == code
+    assert isinstance(payload["detail"], dict)
+    envelope = response.envelope()
+    assert envelope.code == code
+    assert envelope.status == status
+    return envelope
+
+
+class _InjectedCrash(BaseException):
+    """Not an Exception: simulates a worker-killing failure."""
+
+
+class TestServerErrorEnvelopes:
+    def test_429_queue_full_envelope(self, tmp_path):
+        release = threading.Event()
+
+        def impl(payload):
+            release.wait(10.0)
+            return {"ok": True}
+
+        config = make_config(tmp_path, queue_limit=1)
+        with ServerThread(config, compile_impl=impl) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            responses = []
+            threads = [
+                threading.Thread(
+                    target=lambda: responses.append(
+                        client.compile({"m.m": PROGRAM})
+                    )
+                )
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            # wait until the overflow requests have been shed
+            deadline = time.monotonic() + 5.0
+            while (
+                len(responses) < 4 and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            release.set()
+            for t in threads:
+                t.join(10.0)
+            shed = [r for r in responses if r.status == 429]
+            assert shed, "expected at least one shed request"
+            envelope = assert_envelope(shed[0], 429, "queue_full")
+            assert envelope.detail["retry_after_seconds"] > 0
+            assert "retry after" in envelope.summary()
+
+    def test_500_crash_envelope(self, tmp_path):
+        def impl(payload):
+            raise _InjectedCrash("boom")
+
+        with ServerThread(
+            make_config(tmp_path), compile_impl=impl
+        ) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            response = client.compile({"m.m": PROGRAM})
+            assert_envelope(response, 500, "internal_error")
+
+    def test_504_deadline_envelope(self, tmp_path):
+        def impl(payload):
+            time.sleep(5.0)
+            return {"ok": True}
+
+        with ServerThread(
+            make_config(tmp_path), compile_impl=impl
+        ) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            response = client.compile(
+                {"m.m": PROGRAM}, deadline_seconds=0.2
+            )
+            envelope = assert_envelope(
+                response, 504, "deadline_exceeded"
+            )
+            assert envelope.detail["deadline_seconds"] == 0.2
+
+    def test_400_bad_options_envelope(self, tmp_path):
+        with ServerThread(make_config(tmp_path)) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            response = client.compile(
+                {"m.m": PROGRAM}, options={"frob": 1}
+            )
+            envelope = assert_envelope(response, 400, "bad_request")
+            assert "frob" in envelope.message
+
+    def test_422_compile_error_envelope(self, tmp_path):
+        with ServerThread(make_config(tmp_path)) as server:
+            client = ServerClient(server.url, timeout=30.0)
+            response = client.compile({"m.m": "x = (((\n"})
+            assert_envelope(response, 422, "compile_error")
+
+
+# --------------------------------------------------------------------------
+# the driver consumes the facade's request type
+# --------------------------------------------------------------------------
+
+
+class TestDriverUsesFacadeRequest:
+    def test_driver_request_is_api_request(self):
+        from repro.service.driver import CompileRequest as DriverRequest
+
+        assert DriverRequest is CompileRequest
+
+    def test_positional_construction_still_works(self):
+        request = CompileRequest(
+            {"a.m": "x = 1\n"}, options=None, name="r"
+        )
+        assert request.sources == {"a.m": "x = 1\n"}
+        assert request.name == "r"
+        assert replace(request, name="s").name == "s"

@@ -1,0 +1,127 @@
+"""Tests for the differential harness and the `repro verify` CLI.
+
+The harness runs real programs under all four execution models, so
+this lane sticks to the small/fast benchmarks and memoizes each
+compilation once per module."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.suite import compile_benchmark
+from repro.verify import (
+    DEFAULT_SEED,
+    DifferentialReport,
+    run_differential,
+)
+
+_COMPILED = {}
+
+
+def compiled(name):
+    if name not in _COMPILED:
+        _COMPILED[name] = compile_benchmark(name)
+    return _COMPILED[name]
+
+
+FAST_NAMES = ("edit", "adpt")
+
+
+class TestDifferentialHarness:
+    @pytest.mark.parametrize("name", FAST_NAMES)
+    def test_all_models_agree_on_benchmark(self, name):
+        report = run_differential(compiled(name), name=name)
+        assert report.ok, report.summary()
+        assert set(report.models_run) == {
+            "interp",
+            "mat2c",
+            "mat2c-aliased",
+            "mcc",
+        }
+        assert all(steps > 0 for steps in report.steps.values())
+
+    @pytest.mark.parametrize("name", FAST_NAMES)
+    def test_meter_matches_plan_prediction(self, name):
+        report = run_differential(compiled(name), name=name)
+        assert report.predicted_stack_bytes > 0
+        assert (
+            report.observed_stack_bytes == report.predicted_stack_bytes
+        )
+
+    def test_check_meter_off_skips_prediction(self):
+        report = run_differential(
+            compiled("edit"), name="edit", check_meter=False
+        )
+        assert report.ok
+        assert report.predicted_stack_bytes == 0
+        assert report.observed_stack_bytes == 0
+
+    def test_seed_is_the_bench_suite_seed(self):
+        assert DEFAULT_SEED == 20030609
+
+    def test_report_serializes(self):
+        report = run_differential(compiled("edit"), name="edit")
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert doc["name"] == "edit"
+        assert doc["predicted_stack_bytes"] == (
+            report.predicted_stack_bytes
+        )
+        assert "models agree" in report.summary()
+
+    def test_problems_flip_verdict_and_summary(self):
+        report = DifferentialReport(
+            name="x", problems=["mcc output diverges"]
+        )
+        assert not report.ok
+        assert "1 problem(s)" in report.summary()
+        assert "mcc output diverges" in report.summary()
+
+
+class TestVerifyCli:
+    def test_verify_single_program_ok(self, tmp_path, capsys):
+        mfile = tmp_path / "prog.m"
+        mfile.write_text(
+            "a = ones(4); b = a * 2; disp(sum(sum(b)));\n"
+        )
+        assert main(["verify", str(mfile)]) == 0
+        out = capsys.readouterr().out
+        assert "plan OK" in out
+
+    def test_verify_with_differential_and_mutation(
+        self, tmp_path, capsys
+    ):
+        mfile = tmp_path / "prog.m"
+        mfile.write_text(
+            "a = ones(4); b = a * 2; disp(sum(sum(b)));\n"
+        )
+        assert (
+            main(
+                ["verify", str(mfile), "--differential", "--mutation"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "models agree" in out
+        # either outcome is a pass; missing it would have exited 1
+        assert "mutation flagged" in out or "no coalescing" in out
+
+    def test_verify_without_targets_fails(self, capsys):
+        assert main(["verify"]) != 0
+
+    def test_verify_compile_error_counts_as_failure(
+        self, tmp_path, capsys
+    ):
+        mfile = tmp_path / "broken.m"
+        mfile.write_text("x = (((\n")
+        assert main(["verify", str(mfile)]) == 1
+        captured = capsys.readouterr()
+        assert "compile failed" in captured.out
+        assert "failure" in captured.err
+
+    def test_compile_verify_plan_flag(self, tmp_path, capsys):
+        mfile = tmp_path / "prog.m"
+        mfile.write_text(
+            "a = ones(4); b = a * 2; disp(sum(sum(b)));\n"
+        )
+        assert main(["compile", str(mfile), "--verify-plan"]) == 0
+        assert "plan OK" in capsys.readouterr().out
