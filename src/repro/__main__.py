@@ -17,8 +17,12 @@ Commands:
 * ``api-schema``      — print the typed wire-format schema; ``--check``
   diffs it against the committed ``api-schema.json``
 * ``serve``           — run the long-lived compile server
-  (``repro.server``: bounded admission queue, worker pool, /metrics)
+  (``repro.server``: bounded admission queue, worker pool, /metrics;
+  ``--fault-plan`` arms seeded chaos, gated on REPRO_ENABLE_FAULTS=1)
 * ``client``          — submit compiles to a running server over HTTP
+  (``--retries``/``--retry-backoff`` for jittered retry on 429/5xx)
+* ``chaos``           — flood a running server with concurrent
+  retrying compiles and assert the robustness invariants hold
 
 Error handling: ``compile`` and ``client`` exit 1 with a message on
 compile/transport errors; ``bench`` exits 1 and prints a summary when
@@ -438,9 +442,30 @@ def cmd_serve(args) -> int:
         ),
         batch_jobs=args.batch_jobs,
         drain_seconds=args.drain_seconds,
+        degrade=not args.no_degrade,
+        gctd_deadline_seconds=args.gctd_deadline,
     )
     if args.workers is not None:
         config.workers = args.workers
+    if args.fault_plan:
+        from repro.faults import (
+            ENABLE_FAULTS_ENV,
+            FaultPlanError,
+            faults_enabled,
+            load_fault_plan,
+        )
+
+        if not faults_enabled():
+            return _fail(
+                "--fault-plan injects failures on purpose; set "
+                f"{ENABLE_FAULTS_ENV}=1 in the environment to confirm "
+                "this server is allowed to misbehave"
+            )
+        try:
+            load_fault_plan(args.fault_plan)  # fail fast on bad JSON
+        except FaultPlanError as exc:
+            return _fail(str(exc))
+        config.fault_plan_path = args.fault_plan
     try:
         config.validate()
     except ValueError as exc:
@@ -452,9 +477,19 @@ def cmd_client(args) -> int:
     """Talk to a running server over HTTP (stdlib urllib only)."""
     import urllib.error
 
-    from repro.server.client import ServerClient
+    from repro.server.client import (
+        TRANSPORT_ERRORS,
+        RetryPolicy,
+        ServerClient,
+    )
 
-    client = ServerClient(args.url, timeout=args.timeout)
+    retry = None
+    if getattr(args, "retries", 0):
+        retry = RetryPolicy(
+            retries=args.retries,
+            backoff_seconds=args.retry_backoff,
+        )
+    client = ServerClient(args.url, timeout=args.timeout, retry=retry)
     try:
         if args.action == "health":
             response = client.health()
@@ -477,7 +512,7 @@ def cmd_client(args) -> int:
         )
     except urllib.error.URLError as exc:
         return _fail(f"cannot reach server at {args.url}: {exc.reason}")
-    except OSError as exc:
+    except TRANSPORT_ERRORS as exc:
         return _fail(str(exc))
     if not response.ok:
         # the server answers non-2xx with a {code, message, detail}
@@ -501,6 +536,8 @@ def cmd_client(args) -> int:
     print(f"stack frame           : {stats['stack_frame_bytes']} B")
     print(f"fingerprint           : {payload['fingerprint'][:16]}…")
     print(f"cache_hit             : {payload['cache_hit']}")
+    if payload.get("degraded"):
+        print("degraded              : True (mcc all-heap fallback plan)")
     verification = payload.get("verification")
     if verification is not None:
         verdict = "sound" if verification["ok"] else "UNSOUND"
@@ -513,6 +550,117 @@ def cmd_client(args) -> int:
     if verification is not None and not verification["ok"]:
         return 1
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Hammer a running server and check the robustness invariants.
+
+    Sends ``--requests`` concurrent compiles (cycling through the
+    benchmark suite, all with ``verify_plan``) through the retrying
+    client, then asserts what the failure model promises no matter
+    what faults the server injects on itself:
+
+    * every 2xx body parses, reports ``ok``, and carries a *sound*
+      verification report (degraded or not);
+    * every non-2xx is a typed ``{code, message, detail}`` envelope;
+    * the server is still alive (``/readyz``) afterwards.
+
+    Transport-level failures (dropped connections that outlast the
+    retry budget) are reported but are not corruption.  Exit 0 iff
+    every invariant held.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.bench.suite import BENCHMARK_NAMES, load_sources
+    from repro.server.client import (
+        TRANSPORT_ERRORS,
+        RetryPolicy,
+        ServerClient,
+    )
+
+    names = list(BENCHMARK_NAMES)
+    sources_by_name = {name: load_sources(name) for name in names}
+    policy = RetryPolicy(
+        retries=args.retries,
+        backoff_seconds=args.retry_backoff,
+        seed=args.seed,
+    )
+
+    def one(index: int):
+        name = names[index % len(names)]
+        client = ServerClient(args.url, timeout=args.timeout, retry=policy)
+        try:
+            response = client.compile(
+                sources_by_name[name],
+                verify_plan=True,
+                name=f"chaos-{index}-{name}",
+            )
+        except TRANSPORT_ERRORS as exc:
+            return ("transport", f"request {index} ({name}): {exc}")
+        if response.status == 200:
+            payload = response.payload
+            if not payload or not payload.get("ok"):
+                return (
+                    "corrupt",
+                    f"request {index} ({name}): 2xx body not ok: "
+                    f"{response.text[:200]!r}",
+                )
+            verification = payload.get("verification")
+            if not isinstance(verification, dict) or not verification.get(
+                "ok"
+            ):
+                return (
+                    "corrupt",
+                    f"request {index} ({name}): 2xx without a clean "
+                    "verification report",
+                )
+            return (
+                "degraded" if payload.get("degraded") else "ok",
+                response.status,
+            )
+        envelope = response.envelope()
+        if not envelope.code or not envelope.message:
+            return (
+                "corrupt",
+                f"request {index} ({name}): non-2xx {response.status} "
+                f"without an error envelope: {response.text[:200]!r}",
+            )
+        return ("refused", response.status)
+
+    with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+        outcomes = list(pool.map(one, range(args.requests)))
+
+    counts: dict[str, int] = {}
+    problems: list[str] = []
+    transport: list[str] = []
+    for outcome in outcomes:
+        counts[outcome[0]] = counts.get(outcome[0], 0) + 1
+        if outcome[0] == "corrupt":
+            problems.append(outcome[1])
+        elif outcome[0] == "transport":
+            transport.append(outcome[1])
+
+    probe = ServerClient(args.url, timeout=args.timeout, retry=policy)
+    try:
+        alive = probe.ready().status == 200
+    except TRANSPORT_ERRORS:
+        alive = False
+    if not alive:
+        problems.append("server did not answer /readyz after the run")
+
+    summary = ", ".join(
+        f"{kind}={counts[kind]}" for kind in sorted(counts)
+    )
+    print(
+        f"chaos: {args.requests} requests x "
+        f"{args.concurrency} workers -> {summary or 'nothing ran'}; "
+        f"readyz={'ok' if alive else 'DOWN'}"
+    )
+    for line in transport[:5]:
+        print(f"chaos: transport (allowed): {line}", file=sys.stderr)
+    for line in problems:
+        print(f"chaos: INVARIANT VIOLATED: {line}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_stats(args) -> int:
@@ -703,6 +851,27 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--cache-dir", help="cache root (default .repro-cache)"
     )
+    p_serve.add_argument(
+        "--fault-plan",
+        default="",
+        help=(
+            "fault-plan JSON for chaos testing; refused unless "
+            "REPRO_ENABLE_FAULTS=1 is set"
+        ),
+    )
+    p_serve.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="error instead of falling back to the mcc plan on "
+        "GCTD failure",
+    )
+    p_serve.add_argument(
+        "--gctd-deadline",
+        type=float,
+        default=0.0,
+        help="wall-clock budget for the GCTD pass before degrading "
+        "(seconds; 0 = unlimited)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
 
     p_client = sub.add_parser(
@@ -735,6 +904,20 @@ def main(argv: list[str] | None = None) -> int:
         help="per-request deadline in seconds (server default: 60)",
     )
     c_compile.add_argument("--timeout", type=float, default=120.0)
+    c_compile.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry transient failures (429/5xx/transport) this many "
+        "times with jittered exponential backoff",
+    )
+    c_compile.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base backoff in seconds (doubles per attempt, "
+        "full jitter)",
+    )
     c_compile.set_defaults(fn=cmd_client)
     for action in ("health", "metrics"):
         c_action = client_sub.add_parser(
@@ -747,6 +930,25 @@ def main(argv: list[str] | None = None) -> int:
             "--timeout", type=float, default=30.0
         )
         c_action.set_defaults(fn=cmd_client)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="hammer a running server and check robustness invariants",
+    )
+    p_chaos.add_argument("--url", default="http://127.0.0.1:8765")
+    p_chaos.add_argument(
+        "--requests", type=int, default=100, help="total compiles to send"
+    )
+    p_chaos.add_argument(
+        "--concurrency", type=int, default=8, help="client threads"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="retry-jitter seed"
+    )
+    p_chaos.add_argument("--timeout", type=float, default=30.0)
+    p_chaos.add_argument("--retries", type=int, default=4)
+    p_chaos.add_argument("--retry-backoff", type=float, default=0.05)
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_stats = sub.add_parser(
         "stats", help="render pass-level telemetry JSON"

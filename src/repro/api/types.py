@@ -197,6 +197,8 @@ class CompileStats:
     colors: int = 0
     groups: int = 0
     stack_frame_bytes: int = 0
+    #: True when the plan is the mcc all-heap fallback (GCTD failed).
+    degraded: bool = False
 
     @classmethod
     def from_result(cls, result) -> "CompileStats":
@@ -209,10 +211,12 @@ class CompileStats:
             colors=stats.color_count,
             groups=stats.group_count,
             stack_frame_bytes=result.plan.stack_frame_bytes(),
+            # getattr: cached pickles predating the field lack the slot.
+            degraded=bool(getattr(result, "degraded", False)),
         )
 
     def to_wire(self) -> dict:
-        return {
+        out = {
             "variables": self.variables,
             "static_subsumed": self.static_subsumed,
             "dynamic_subsumed": self.dynamic_subsumed,
@@ -221,6 +225,9 @@ class CompileStats:
             "groups": self.groups,
             "stack_frame_bytes": self.stack_frame_bytes,
         }
+        if self.degraded:
+            out["degraded"] = True
+        return out
 
     @classmethod
     def from_wire(cls, payload: dict) -> "CompileStats":
@@ -234,6 +241,7 @@ class CompileStats:
             colors=int(payload.get("colors", 0)),
             groups=int(payload.get("groups", 0)),
             stack_frame_bytes=int(payload.get("stack_frame_bytes", 0)),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 
@@ -251,6 +259,9 @@ class CompileResponse:
     report: str = ""
     verification: dict | None = None
     c_source: str | None = None
+    #: True when the result carries the mcc fallback plan; mirrored on
+    #: ``stats.degraded`` so both summary and full consumers see it.
+    degraded: bool = False
 
     @classmethod
     def from_result(
@@ -280,12 +291,14 @@ class CompileResponse:
                 else None
             ),
             c_source=result.generate_c() if emit_c else None,
+            degraded=bool(getattr(result, "degraded", False)),
         )
 
     def to_wire(self) -> dict:
         # Key order matches the pre-facade server response exactly;
-        # the new `verification` key is additive and only present when
-        # the request asked for plan verification.
+        # the new `verification`, `c_source`, and `degraded` keys are
+        # additive and only present when set, so undegraded responses
+        # stay byte-identical to pre-envelope output.
         payload: dict = {
             "ok": self.ok,
             "name": self.name,
@@ -300,6 +313,8 @@ class CompileResponse:
             payload["verification"] = self.verification
         if self.c_source is not None:
             payload["c_source"] = self.c_source
+        if self.degraded:
+            payload["degraded"] = True
         return payload
 
     @classmethod
@@ -315,6 +330,7 @@ class CompileResponse:
             report=str(payload.get("report", "")),
             verification=payload.get("verification"),
             c_source=payload.get("c_source"),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 

@@ -71,13 +71,21 @@ def compile_and_run(
     c_source: str,
     timeout_seconds: float = 30.0,
     cache_dir: str | Path | None = None,
+    injector=None,
 ) -> CRunResult:
     """Compile the C translation with the host compiler and run it.
 
     ``cache_dir`` (usually the artifact cache root, see
     :class:`repro.service.cache.ArtifactCache`) enables binary reuse:
     an identical C source is compiled at most once per cache.
+
+    ``injector`` (:class:`repro.faults.FaultInjector`) is consulted at
+    the ``cc.compile`` site: a CRASH fault models the host compiler
+    blowing up, a HANG models a pathologically slow build.  Either
+    lands before any cache lookup, like a real toolchain failure.
     """
+    if injector is not None:
+        injector.interrupt("cc.compile")
     compiler = find_compiler()
     if compiler is None:
         raise CCompilerUnavailable("no C compiler on PATH")

@@ -17,11 +17,17 @@ the paper's whole comparison matrix.
 from __future__ import annotations
 
 import copy
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.analysis.pass_manager import PassStatistics, run_cleanup_pipeline
-from repro.core.gctd import GCTDOptions, GCTDResult, run_gctd
+from repro.core.gctd import (
+    GCTDOptions,
+    GCTDResult,
+    mcc_fallback_result,
+    run_gctd,
+)
 from repro.core.optionset import OptionSet
 from repro.frontend import ast_nodes as ast
 from repro.frontend.parser import parse_program
@@ -96,6 +102,12 @@ class CompilationResult:
     #: result of the independent plan checker (see :mod:`repro.verify`);
     #: None unless the compilation ran with ``verify_plan=True``.
     verification: object = None
+    #: True when GCTD failed and the plan is the mcc all-heap fallback.
+    #: Read via ``getattr(result, "degraded", False)`` — cached pickles
+    #: from before this field existed lack the slot.
+    degraded: bool = False
+    #: why the compilation degraded (empty when it did not).
+    degraded_reason: str = ""
 
     @property
     def plan(self):
@@ -155,6 +167,9 @@ def compile_program(
     tracer=None,
     cache=None,
     verify_plan: bool = False,
+    degrade: bool = False,
+    gctd_deadline_seconds: float | None = None,
+    injector=None,
 ) -> CompilationResult:
     """Compile a set of M-files (filename → text).
 
@@ -169,6 +184,19 @@ def compile_program(
     ``result.verification``.  Verification never alters the artifact
     — it is not part of the fingerprint, so a cached result is
     verified on retrieval when the cached copy lacks a report.
+
+    ``degrade=True`` turns a GCTD failure (an exception out of the
+    pass, or exceeding ``gctd_deadline_seconds`` of wall time) into a
+    *degraded* result instead of an error: the allocation plan falls
+    back to the mcc all-heap model, ``result.degraded`` is set, and
+    the fallback plan is still checked for soundness.  Degraded
+    results are never cached — the failure may be transient, and a
+    later compile should get another shot at the real plan.  These
+    knobs are deliberately keyword-only and outside
+    :class:`CompilerOptions` so they never perturb artifact
+    fingerprints.  ``injector`` is an optional
+    :class:`repro.faults.FaultInjector` consulted at the ``gctd.run``
+    site (chaos testing).
     """
     options = options or CompilerOptions()
     tracer = tracer if tracer is not None else _NULL_TRACER
@@ -178,10 +206,18 @@ def compile_program(
             if verify_plan and cached.verification is None:
                 _verify_result(cached, tracer)
             return cached
-    result = _run_pipeline(sources, entry, options, tracer)
+    result = _run_pipeline(
+        sources,
+        entry,
+        options,
+        tracer,
+        degrade=degrade,
+        gctd_deadline_seconds=gctd_deadline_seconds,
+        injector=injector,
+    )
     if verify_plan:
         _verify_result(result, tracer)
-    if cache is not None:
+    if cache is not None and not result.degraded:
         cache.put_program(sources, entry, options, result, tracer=tracer)
     return result
 
@@ -199,6 +235,10 @@ def _run_pipeline(
     entry: str | None,
     options: CompilerOptions,
     tracer,
+    *,
+    degrade: bool = False,
+    gctd_deadline_seconds: float | None = None,
+    injector=None,
 ) -> CompilationResult:
     with tracer.span("parse"):
         program = parse_program(sources, entry)
@@ -233,7 +273,31 @@ def _run_pipeline(
                 env = infer_types(func)
 
     with tracer.span("gctd", func) as sp:
-        gctd = run_gctd(func, env, options.gctd)
+        degraded_reason = ""
+        started = time.monotonic()
+        try:
+            if injector is not None:
+                injector.interrupt("gctd.run")
+            gctd = run_gctd(func, env, options.gctd)
+        except Exception as exc:
+            if not degrade:
+                raise
+            degraded_reason = f"gctd failed: {exc}"
+        else:
+            elapsed = time.monotonic() - started
+            if (
+                degrade
+                and gctd_deadline_seconds
+                and elapsed > gctd_deadline_seconds
+            ):
+                degraded_reason = (
+                    f"gctd exceeded deadline: {elapsed:.3f}s > "
+                    f"{gctd_deadline_seconds:.3f}s"
+                )
+        if degraded_reason:
+            gctd = mcc_fallback_result(func, env)
+            _check_fallback_plan(func, env, gctd.plan)
+            sp.details["degraded"] = degraded_reason
         stats = gctd.interference_stats
         sp.details["interference_edges"] = (
             stats.duchain_edges + stats.opsem_edges
@@ -261,7 +325,21 @@ def _run_pipeline(
         pass_stats=pass_stats,
         options=options,
         identity_copies_folded=folded_copies,
+        degraded=bool(degraded_reason),
+        degraded_reason=degraded_reason,
     )
+
+
+def _check_fallback_plan(func: IRFunction, env, plan) -> None:
+    """Degraded is allowed; unsound is not.  Check before proceeding."""
+    from repro.verify.checker import verify_plan as _verify
+
+    report = _verify(func, env, plan)
+    if not report.ok:
+        raise RuntimeError(
+            "mcc fallback plan failed verification: "
+            + "; ".join(v.message for v in report.violations)
+        )
 
 
 def _count_identity_copies(func: IRFunction, plan) -> int:

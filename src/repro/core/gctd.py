@@ -25,6 +25,7 @@ from repro.ir.cfg import IRFunction
 from repro.typing.infer import TypeEnvironment
 
 from repro.core.allocation import (
+    MAY_RESIZE,
     AllocationPlan,
     ReductionStats,
     StorageClass,
@@ -103,6 +104,73 @@ def run_gctd(
         coloring=coloring,
         plan=plan,
         interference_stats=stats,
+        liveness=liveness,
+        availability=availability,
+    )
+
+
+def mcc_fallback_result(
+    func: IRFunction,
+    env: TypeEnvironment,
+    liveness: LivenessInfo | None = None,
+    availability: AvailabilityInfo | None = None,
+) -> GCTDResult:
+    """The mcc 2.2 allocation model: every variable alone, on the heap.
+
+    This is the graceful-degradation fallback the pipeline reaches for
+    when GCTD itself fails (crash, pathological slowness): no sharing,
+    no stack promotion, every definition free to resize.  It is the
+    paper's baseline model, so it is *always* sound — singleton groups
+    cannot violate liveness or operator semantics, an all-heap plan
+    makes the stack check vacuous, and a ``±`` mark on every definition
+    is justified by construction.  Callers still run the independent
+    checker over it; soundness here is cheap insurance, not an excuse
+    to skip verification.
+    """
+    if liveness is None:
+        liveness = compute_liveness(func)
+    if availability is None:
+        availability = compute_availability(func)
+    graph = InterferenceGraph()
+    names = func.defined_vars()
+    for name in names:
+        graph.add_node(name)
+    coloring = Coloring(
+        color_of={name: i for i, name in enumerate(names)},
+        num_colors=len(names),
+    )
+    groups: list[StorageGroup] = []
+    group_of: dict[str, int] = {}
+    resize_marks: dict[str, str] = {}
+    stats = ReductionStats(original_variable_count=len(names))
+    for i, name in enumerate(names):
+        vartype = env.of(name)
+        groups.append(
+            StorageGroup(
+                gid=i,
+                color=i,
+                storage=StorageClass.HEAP,
+                intrinsic=vartype.intrinsic,
+                root=name,
+                members=[name],
+                static_size=None,
+            )
+        )
+        group_of[name] = i
+        resize_marks[name] = MAY_RESIZE
+    stats.group_count = len(groups)
+    stats.color_count = len(names)
+    plan = AllocationPlan(
+        groups=groups,
+        group_of=group_of,
+        resize_marks=resize_marks,
+        stats=stats,
+    )
+    return GCTDResult(
+        graph=graph,
+        coloring=coloring,
+        plan=plan,
+        interference_stats=InterferenceStats(),
         liveness=liveness,
         availability=availability,
     )

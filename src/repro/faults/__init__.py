@@ -1,0 +1,73 @@
+"""Deterministic, seeded fault injection (``repro.faults``).
+
+The robustness counterpart to :mod:`repro.verify`: the verifier proves
+a result sound, this package makes the *paths to a result* fail on
+purpose — torn cache writes, corrupted bytes, full disks, compiler
+crashes and hangs, dying workers, dropped connections — under a seeded
+schedule (:class:`FaultPlan`) a :class:`FaultInjector` replays
+deterministically.  Production modules accept an optional injector and
+pay nothing when it is absent; chaos tests hand every layer the same
+schedule and assert the system-level invariants (server stays up, no
+corrupt response is ever served, degraded results are flagged and
+still verify).
+"""
+
+from repro.faults.injector import (
+    FaultInjected,
+    FaultInjector,
+    InjectedFault,
+    NO_FAULTS,
+)
+from repro.faults.plan import (
+    ALL_KINDS,
+    ALL_SITES,
+    CORRUPT_BYTES,
+    CRASH,
+    DELAY,
+    DROP_CONNECTION,
+    ENABLE_FAULTS_ENV,
+    ENOSPC,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    HANG,
+    SITE_CACHE_WRITE,
+    SITE_CC_COMPILE,
+    SITE_GCTD,
+    SITE_HTTP_RESPONSE,
+    SITE_POOL_WORKER,
+    TORN_WRITE,
+    WORKER_DEATH,
+    chaos_plan,
+    faults_enabled,
+    load_fault_plan,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "ALL_SITES",
+    "CORRUPT_BYTES",
+    "CRASH",
+    "DELAY",
+    "DROP_CONNECTION",
+    "ENABLE_FAULTS_ENV",
+    "ENOSPC",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "HANG",
+    "InjectedFault",
+    "NO_FAULTS",
+    "SITE_CACHE_WRITE",
+    "SITE_CC_COMPILE",
+    "SITE_GCTD",
+    "SITE_HTTP_RESPONSE",
+    "SITE_POOL_WORKER",
+    "TORN_WRITE",
+    "WORKER_DEATH",
+    "chaos_plan",
+    "faults_enabled",
+    "load_fault_plan",
+]

@@ -1,0 +1,169 @@
+"""Deterministic interpreter for a :class:`~repro.faults.plan.FaultPlan`.
+
+Production modules consult a :class:`FaultInjector` at named sites;
+with no plan (or no matching rules) every consultation is a cheap
+no-op, so the injector can stay threaded through the hot path
+permanently.  Three consultation styles cover every site:
+
+* :meth:`interrupt` — control faults: raises :class:`FaultInjected`
+  (CRASH), raises ``OSError(ENOSPC)``, or sleeps (HANG);
+* :meth:`mangle` — data faults: truncates (TORN_WRITE) or flips bytes
+  in (CORRUPT_BYTES) a payload about to be written;
+* :meth:`pick` — caller-interpreted faults (WORKER_DEATH,
+  DROP_CONNECTION, DELAY): returns the fired rule, the caller acts.
+
+Whether the *n*-th consultation of a site fires a rule is a pure
+function of ``(plan.seed, site, n, rule position)`` — a SHA-256-driven
+coin flip — so a chaos schedule replays exactly given the same
+per-site consultation order.  Every injected fault is recorded on
+:attr:`FaultInjector.injected` (and reported through the optional
+``on_fire`` hook) so tests and metrics can account for precisely what
+went wrong.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.faults.plan import (
+    CORRUPT_BYTES,
+    CRASH,
+    ENOSPC,
+    FaultPlan,
+    FaultRule,
+    HANG,
+    TORN_WRITE,
+)
+
+
+class FaultInjected(RuntimeError):
+    """The exception a CRASH-kind fault raises at its site."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """One fault that actually fired, for logs and assertions."""
+
+    site: str
+    kind: str
+    hit: int          # which consultation of the site (1-based)
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "kind": self.kind, "hit": self.hit}
+
+
+def _coin(seed: int, site: str, hit: int, slot: int) -> float:
+    """Uniform [0, 1) decided only by the schedule coordinates."""
+    digest = hashlib.sha256(
+        f"{seed}\x00{site}\x00{hit}\x00{slot}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(slots=True)
+class FaultInjector:
+    """Thread-safe, deterministic executor of one fault plan."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    #: optional callback invoked with each :class:`InjectedFault`.
+    on_fire: object = None
+    sleep: object = time.sleep          # injectable for fast tests
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _hits: dict = field(default_factory=dict)       # site -> count
+    _fires: dict = field(default_factory=dict)      # (site, slot) -> count
+    injected: list = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.plan.rules)
+
+    # -- the decision procedure ------------------------------------------
+
+    def pick(self, site: str) -> FaultRule | None:
+        """Consult ``site``; return the rule that fires, if any.
+
+        At most one rule fires per consultation (the first match in
+        plan order), so compound schedules stay easy to reason about.
+        """
+        if not self.plan.rules:
+            return None
+        rules = [
+            (slot, rule)
+            for slot, rule in enumerate(self.plan.rules)
+            if rule.site == site
+        ]
+        if not rules:
+            return None
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            for slot, rule in rules:
+                fired = self._fires.get((site, slot), 0)
+                if rule.max_fires and fired >= rule.max_fires:
+                    continue
+                if _coin(self.plan.seed, site, hit, slot) < rule.rate:
+                    self._fires[(site, slot)] = fired + 1
+                    fault = InjectedFault(site, rule.kind, hit)
+                    self.injected.append(fault)
+                    break
+            else:
+                return None
+        if self.on_fire is not None:
+            self.on_fire(fault)
+        return rule
+
+    # -- consultation styles ---------------------------------------------
+
+    def interrupt(self, site: str) -> None:
+        """Control-fault consultation: may raise or sleep, else no-op."""
+        rule = self.pick(site)
+        if rule is None:
+            return
+        if rule.kind == CRASH:
+            raise FaultInjected(site)
+        if rule.kind == ENOSPC:
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        if rule.kind == HANG:
+            self.sleep(rule.delay_seconds)
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        """Data-fault consultation: may corrupt the payload in flight."""
+        rule = self.pick(site)
+        if rule is None:
+            return data
+        if rule.kind == TORN_WRITE:
+            return data[: len(data) // 2]
+        if rule.kind == CORRUPT_BYTES:
+            if not data:
+                return b"\xff"
+            mangled = bytearray(data)
+            step = max(1, len(mangled) // 8)
+            for index in range(0, len(mangled), step):
+                mangled[index] ^= 0xFF
+            return bytes(mangled)
+        if rule.kind == ENOSPC:
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        return data
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def counts(self) -> dict[tuple[str, str], int]:
+        """(site, kind) -> number of injections so far."""
+        with self._lock:
+            out: dict[tuple[str, str], int] = {}
+            for fault in self.injected:
+                key = (fault.site, fault.kind)
+                out[key] = out.get(key, 0) + 1
+            return out
+
+
+#: Shared inert injector for call sites that want a non-None default.
+NO_FAULTS = FaultInjector()

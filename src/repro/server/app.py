@@ -80,11 +80,13 @@ class CompileServer:
         cache=None,
         compile_impl=None,
         batch_impl=None,
+        injector=None,
     ) -> None:
         self.config = config or ServerConfig()
         self.config.validate()
         self.metrics = MetricsRegistry()
         self._define_metrics()
+        self.injector = self._build_injector(injector)
         if cache is not None:
             self.cache = cache
         elif self.config.cache_root:
@@ -93,6 +95,7 @@ class CompileServer:
             self.cache = ArtifactCache(self.config.cache_root)
         else:
             self.cache = None
+        self._wire_cache_hooks()
         self._compile_impl = compile_impl or self._do_compile
         self._batch_impl = batch_impl or self._do_batch
         self.queue = AdmissionQueue(
@@ -103,6 +106,7 @@ class CompileServer:
             self.config.workers,
             inflight_gauge=self._inflight,
             crash_counter=self._worker_crashes,
+            injector=self.injector,
         )
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
@@ -110,6 +114,55 @@ class CompileServer:
         self._ready = False
         self._stopping = False
         self.port: int | None = None
+
+    # -- fault injection --------------------------------------------------
+
+    def _build_injector(self, injector):
+        """Resolve the server's injector; default is inert.
+
+        A fault plan from config is double-gated: the path must be set
+        *and* ``REPRO_ENABLE_FAULTS=1`` must be in the environment, so
+        a copied config file cannot silently put chaos in production.
+        An explicitly passed injector (embedded test runner) is
+        trusted as-is.
+        """
+        from repro.faults import (
+            ENABLE_FAULTS_ENV,
+            FaultInjector,
+            faults_enabled,
+            load_fault_plan,
+        )
+
+        if injector is None and self.config.fault_plan_path:
+            if not faults_enabled():
+                raise ValueError(
+                    "fault_plan_path is set but fault injection is "
+                    f"not enabled; export {ENABLE_FAULTS_ENV}=1 to "
+                    "confirm this server should misbehave on purpose"
+                )
+            injector = FaultInjector(
+                load_fault_plan(self.config.fault_plan_path)
+            )
+        if injector is None:
+            injector = FaultInjector()
+        if injector.on_fire is None:
+            injector.on_fire = lambda fault: self._faults_injected.inc(
+                site=fault.site, kind=fault.kind
+            )
+        return injector
+
+    def _wire_cache_hooks(self) -> None:
+        if self.cache is None:
+            return
+        if getattr(self.cache, "on_quarantine", None) is None:
+            self.cache.on_quarantine = (
+                lambda fingerprint: self._cache_quarantined.inc()
+            )
+        if (
+            self.injector.enabled
+            and getattr(self.cache, "injector", None) is None
+        ):
+            self.cache.injector = self.injector
 
     # -- metrics ---------------------------------------------------------
 
@@ -179,6 +232,19 @@ class CompileServer:
             "Plan-verifier violations by check.",
             ("check",),
         )
+        self._degraded = m.counter(
+            "repro_degraded_total",
+            "Compilations degraded to the mcc all-heap fallback plan.",
+        )
+        self._cache_quarantined = m.counter(
+            "repro_cache_quarantined_total",
+            "Corrupt cache entries quarantined instead of served.",
+        )
+        self._faults_injected = m.counter(
+            "repro_faults_injected_total",
+            "Faults injected by site and kind (chaos runs only).",
+            ("site", "kind"),
+        )
 
     def _record_trace(self, tracer) -> None:
         self._cache_hits.inc(tracer.cache_hits)
@@ -210,6 +276,11 @@ class CompileServer:
                 tracer=tracer,
                 cache=self.cache,
                 verify_plan=request.verify_plan,
+                degrade=self.config.degrade,
+                gctd_deadline_seconds=(
+                    self.config.gctd_deadline_seconds or None
+                ),
+                injector=self.injector if self.injector.enabled else None,
             )
         except Exception:
             self._compiles.inc(result="error")
@@ -218,6 +289,8 @@ class CompileServer:
         wall = time.perf_counter() - start
         self._compiles.inc(result="ok")
         self._record_trace(tracer)
+        if getattr(result, "degraded", False):
+            self._degraded.inc()
         if result.verification is not None:
             verdict = "ok" if result.verification.ok else "unsound"
             self._verifications.inc(verdict=verdict)
@@ -352,6 +425,15 @@ class CompileServer:
                     break
                 keep_alive = request.keep_alive and not self._stopping
                 data = await self._respond(request, keep_alive)
+                rule = (
+                    self.injector.pick("http.response")
+                    if self.injector.enabled
+                    else None
+                )
+                if rule is not None and rule.kind == "drop_connection":
+                    break  # close without writing the response
+                if rule is not None and rule.kind == "delay":
+                    await asyncio.sleep(rule.delay_seconds)
                 writer.write(data)
                 await writer.drain()
                 if not keep_alive:

@@ -7,16 +7,44 @@ can submit work without any third-party HTTP stack.
 Every call returns a :class:`ClientResponse` — error statuses (429,
 504, …) are *data*, not exceptions, because shed load and expired
 deadlines are expected operating conditions a caller must branch on.
-Only transport-level failures (connection refused, DNS) raise, as
-:class:`urllib.error.URLError`.
+Only transport-level failures raise (connection refused, DNS, the
+server closing the socket mid-exchange — see ``TRANSPORT_ERRORS``),
+and with a :class:`RetryPolicy` configured, only after the retry
+budget is spent.
+
+Retries use capped exponential backoff with *full jitter*: the wait
+before attempt *n* is uniform on ``[0, min(cap, base·2ⁿ))``, drawn
+from a seeded RNG so tests replay the exact schedule.  A ``429`` with
+a ``Retry-After`` header (or ``retry_after_seconds`` detail in the
+envelope) overrides the computed delay — the server knows its queue
+better than the client's guess.  A :class:`CircuitBreaker` can sit in
+front of the whole loop: after ``failure_threshold`` consecutive
+transport/5xx failures it fails fast (:class:`CircuitOpenError`) for
+``reset_seconds``, then lets one probe through (half-open) before
+closing again.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
+
+#: transport-level failures worth retrying: connection refused/reset,
+#: DNS trouble (``URLError`` is an ``OSError``), and the server
+#: closing the socket mid-exchange (``RemoteDisconnected`` et al. are
+#: ``HTTPException``, *not* ``URLError``).
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+#: statuses worth retrying: shed load, transient server trouble,
+#: expired deadlines.  Hard client errors (4xx) are not on the list —
+#: the same request will fail the same way.
+DEFAULT_RETRY_STATUSES = (429, 500, 502, 503, 504)
 
 
 @dataclass(slots=True)
@@ -42,11 +70,139 @@ class ClientResponse:
 
         return ErrorEnvelope.from_wire(self.payload, self.status)
 
+    def retry_after(self) -> float | None:
+        """The server-advised wait, if the response carries one."""
+        for key, value in self.headers.items():
+            if key.lower() == "retry-after":
+                try:
+                    return max(0.0, float(value))
+                except (TypeError, ValueError):
+                    break
+        detail = self.payload.get("detail")
+        if isinstance(detail, dict):
+            try:
+                return max(0.0, float(detail["retry_after_seconds"]))
+            except (KeyError, TypeError, ValueError):
+                pass
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait in between."""
+
+    #: extra attempts after the first (0 = no retries at all).
+    retries: int = 0
+    #: base for the exponential schedule (attempt n caps at base·2ⁿ).
+    backoff_seconds: float = 0.1
+    #: ceiling on any single wait, server-advised or computed.
+    max_backoff_seconds: float = 5.0
+    retry_statuses: tuple = DEFAULT_RETRY_STATUSES
+    #: seeds the jitter RNG; same seed → same wait schedule.
+    seed: int = 0
+
+    def should_retry_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+    def delay(
+        self,
+        attempt: int,
+        rng: random.Random,
+        server_advice: float | None = None,
+    ) -> float:
+        """Wait before retry number ``attempt`` (0-based)."""
+        if server_advice is not None:
+            return min(server_advice, self.max_backoff_seconds)
+        cap = min(
+            self.max_backoff_seconds,
+            self.backoff_seconds * (2.0 ** attempt),
+        )
+        return rng.uniform(0.0, cap)
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open; the request was not attempted."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` returns False until ``reset_seconds`` elapse,
+    after which exactly one caller is let through (half-open).  That
+    probe's success closes the circuit; its failure re-opens it for
+    another cooldown.  Thread-safe; the clock is injectable for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.reset_seconds:
+                    self._state = self.HALF_OPEN
+                    return True      # the single probe
+                return False
+            return False             # half-open: probe already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
 
 class ServerClient:
-    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep=time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
+        #: per-attempt timeout — each retry gets the full budget.
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.sleep = sleep
 
     # -- endpoints -------------------------------------------------------
 
@@ -115,6 +271,53 @@ class ServerClient:
         return self._send(request)
 
     def _send(self, request: urllib.request.Request) -> ClientResponse:
+        """Run the retry loop around single attempts.
+
+        Retryable outcomes: a transport error (``URLError``) or a
+        status on the policy's retry list.  Compiles are pure, so
+        resubmitting a POST is safe.  The circuit breaker is consulted
+        before *every* attempt and fed every outcome.
+        """
+        policy = self.retry or RetryPolicy()
+        rng = random.Random(f"{policy.seed}:{request.full_url}")
+        attempts = max(1, policy.retries + 1)
+        last_error: Exception | None = None
+        response: ClientResponse | None = None
+        for attempt in range(attempts):
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self.base_url}; "
+                    f"not attempting {request.selector}"
+                )
+            last_error = None
+            try:
+                response = self._attempt(request)
+            except TRANSPORT_ERRORS as exc:
+                last_error = exc
+                response = None
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+            else:
+                if self.breaker is not None:
+                    if response.status >= 500:
+                        self.breaker.record_failure()
+                    else:
+                        self.breaker.record_success()
+                if not policy.should_retry_status(response.status):
+                    return response
+            if attempt + 1 >= attempts:
+                break
+            advice = response.retry_after() if response else None
+            delay = policy.delay(attempt, rng, server_advice=advice)
+            if delay > 0:
+                self.sleep(delay)
+        if response is not None:
+            return response
+        assert last_error is not None
+        raise last_error
+
+    def _attempt(self, request: urllib.request.Request) -> ClientResponse:
+        """One HTTP exchange; overridable seam for the retry tests."""
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout

@@ -46,6 +46,16 @@ class ServerConfig:
     drain_seconds: float = 10.0
     #: Seconds suggested to shed clients via ``Retry-After``.
     retry_after: float = 1.0
+    #: Path to a fault-plan JSON (see :mod:`repro.faults`).  Refused
+    #: at server construction unless ``REPRO_ENABLE_FAULTS=1`` — chaos
+    #: must be an explicit, two-key decision.
+    fault_plan_path: str = ""
+    #: When True, a GCTD failure degrades a compile to the mcc
+    #: all-heap plan (marked ``degraded``) instead of erroring.
+    degrade: bool = True
+    #: Wall-clock budget for the GCTD pass before degrading
+    #: (0 = unlimited).
+    gctd_deadline_seconds: float = 0.0
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -54,3 +64,5 @@ class ServerConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.default_deadline <= 0:
             raise ValueError("default_deadline must be > 0")
+        if self.gctd_deadline_seconds < 0:
+            raise ValueError("gctd_deadline_seconds must be >= 0")

@@ -42,11 +42,15 @@ class WorkerPool:
         size: int,
         inflight_gauge=None,
         crash_counter=None,
+        injector=None,
     ) -> None:
         self._queue = queue
         self.size = size
         self._inflight_gauge = inflight_gauge
         self._crash_counter = crash_counter
+        #: optional :class:`repro.faults.FaultInjector`; consulted at
+        #: ``pool.worker`` before each job (worker_death / hang).
+        self._injector = injector
         self._lock = threading.Lock()
         self._threads: set[threading.Thread] = set()
         self._stopping = False
@@ -121,6 +125,19 @@ class WorkerPool:
         if job.abandoned.is_set() or job.expired():
             job.deliver(EXPIRED)
             return False
+        rule = (
+            self._injector.pick("pool.worker")
+            if self._injector is not None and self._injector.enabled
+            else None
+        )
+        if rule is not None and rule.kind == "worker_death":
+            # The worker dies mid-job, exactly like a BaseException
+            # escaping the job body: this request crashes (500), the
+            # supervisor respawns a replacement.
+            job.deliver(CRASH, "worker crashed: injected worker death")
+            return True
+        if rule is not None and rule.kind == "hang":
+            self._injector.sleep(rule.delay_seconds)
         if self._inflight_gauge is not None:
             self._inflight_gauge.inc()
         try:

@@ -30,6 +30,7 @@ class ServerThread:
         cache=None,
         compile_impl=None,
         batch_impl=None,
+        injector=None,
         startup_timeout: float = 10.0,
     ) -> None:
         self.config = config or ServerConfig(port=0)
@@ -37,6 +38,7 @@ class ServerThread:
             "cache": cache,
             "compile_impl": compile_impl,
             "batch_impl": batch_impl,
+            "injector": injector,
         }
         self._startup_timeout = startup_timeout
         self.server: CompileServer | None = None

@@ -6,21 +6,38 @@ Layout (default root ``.repro-cache/``)::
         plan        pickled CompilationResult (IR, env, allocation plan)
         report      human-readable Table-2-style report
         c_source    the C translation
-        meta.json   fingerprint, pipeline version, entry, timestamps
-        <extras>    optional side artifacts (e.g. bench-<seed>.pkl)
+        meta.json   fingerprint, pipeline version, payload checksums
+    quarantine/<fingerprint>-<n>/   corrupted entries, kept for autopsy
     bin/<c-hash>/program    compiled binaries (see repro.backend.cc)
 
 Writes are atomic: each entry is materialized in a temporary sibling
 directory and ``os.rename``\\ d into place, so concurrent writers of
 the same fingerprint race benignly (one rename wins, the content is
 identical by construction).  A small in-process LRU keeps hot results
-unpickled.  Corrupted entries (truncated pickle, missing meta) are
-treated as misses: the entry is deleted, the caller recompiles, and
-the subsequent store repairs it.
+unpickled.
+
+Integrity: ``meta.json`` records a SHA-256 per payload file.  A load
+whose payload bytes fail their checksum (torn write, bit rot) — or
+fail to unpickle — **quarantines** the entry: it is moved aside into
+``quarantine/`` (never re-served, preserved for inspection), counted
+on :attr:`CacheStats.quarantined`, reported through the
+``on_quarantine`` hook, and the caller's recompile-and-store
+transparently re-derives a clean entry.  Metadata-level problems
+(missing/unreadable meta, pipeline version skew) are ordinary
+repairable misses, removed in place.  A store that fails with
+``OSError`` (e.g. ``ENOSPC``) degrades to memory-only: the result
+stays servable from the in-process LRU and the disk entry is simply
+absent.
+
+Fault injection: the optional ``injector``
+(:class:`repro.faults.FaultInjector`) mangles payload bytes or raises
+``ENOSPC`` at the ``cache.write`` site, which is how the chaos suite
+proves the checksum/quarantine machinery actually holds.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -46,6 +63,12 @@ _REPORT = "report"
 _C_SOURCE = "c_source"
 _META = "meta.json"
 
+#: payload files covered by the meta.json checksums.
+_CHECKSUMMED = (_PLAN, _REPORT, _C_SOURCE)
+
+#: injection-site name consulted on every payload write.
+_WRITE_SITE = "cache.write"
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -55,6 +78,8 @@ class CacheStats:
     stores: int = 0
     invalidations: int = 0
     repairs: int = 0
+    quarantined: int = 0
+    write_errors: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +89,8 @@ class CacheStats:
             "stores": self.stores,
             "invalidations": self.invalidations,
             "repairs": self.repairs,
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
         }
 
 
@@ -71,6 +98,10 @@ class CacheStats:
 class _Entry:
     result: object
     meta: dict = field(default_factory=dict)
+
+
+class _CorruptEntry(ValueError):
+    """A payload file failed its checksum or would not unpickle."""
 
 
 class ArtifactCache:
@@ -81,6 +112,8 @@ class ArtifactCache:
         root: str | Path = DEFAULT_CACHE_ROOT,
         max_memory_entries: int = 64,
         pipeline_version: str | None = None,
+        injector=None,
+        on_quarantine=None,
     ) -> None:
         self.root = Path(root)
         self.pipeline_version = (
@@ -90,6 +123,10 @@ class ArtifactCache:
         )
         self.max_memory_entries = max_memory_entries
         self.stats = CacheStats()
+        #: optional :class:`repro.faults.FaultInjector` for chaos runs.
+        self.injector = injector
+        #: optional callback ``fn(fingerprint)`` on each quarantine.
+        self.on_quarantine = on_quarantine
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
         # The server's worker threads share one cache; the in-process
         # LRU (ordered-dict reordering + eviction) needs a lock.  Disk
@@ -105,6 +142,9 @@ class ArtifactCache:
 
     def object_dir(self, fingerprint: str) -> Path:
         return self.root / "objects" / fingerprint
+
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     # -- pipeline-facing interface ---------------------------------------
 
@@ -133,8 +173,10 @@ class ArtifactCache:
     def load(self, fingerprint: str):
         """Return the cached CompilationResult, or None on miss.
 
-        A corrupted disk entry counts as a miss: it is removed so the
-        caller's recompile-and-store repairs it.
+        A corrupted disk entry (checksum mismatch, bad pickle) is
+        quarantined; metadata problems are removed in place.  Either
+        way the load reports a miss so the caller's recompile-and-store
+        re-derives a clean entry.
         """
         with self._lock:
             entry = self._memory.get(fingerprint)
@@ -153,51 +195,115 @@ class ArtifactCache:
             meta = json.loads(meta_path.read_text())
             if meta.get("pipeline_version") != self.pipeline_version:
                 raise ValueError("pipeline version mismatch")
-            result = pickle.loads(plan_path.read_bytes())
         except Exception:
-            # Truncated pickle, unreadable meta, version skew: drop the
-            # entry and report a miss so the caller recompiles.
+            # Unreadable/absent meta or version skew: not corruption,
+            # just staleness — drop the entry so the caller's
+            # recompile-and-store repairs it.
             self._remove_entry(directory)
             self.stats.repairs += 1
+            self.stats.misses += 1
+            return None
+        try:
+            plan_bytes = plan_path.read_bytes()
+            self._verify_checksums(directory, meta, plan_bytes)
+            result = pickle.loads(plan_bytes)
+        except Exception:
+            # Payload-level corruption (torn write, flipped bytes,
+            # truncated pickle): never serve it, never silently lose
+            # the evidence — quarantine, then report a miss.
+            self._quarantine(fingerprint, directory)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         self._remember(fingerprint, _Entry(result=result, meta=meta))
         return result
 
+    @staticmethod
+    def _verify_checksums(
+        directory: Path, meta: dict, plan_bytes: bytes
+    ) -> None:
+        """Check every recorded payload digest; raises on mismatch.
+
+        Entries written before checksums existed (no ``checksums`` in
+        meta) still load — their plan payload is vetted by the
+        unpickle itself.
+        """
+        checksums = meta.get("checksums")
+        if not isinstance(checksums, dict):
+            return
+        for name, expected in checksums.items():
+            if name == _PLAN:
+                data = plan_bytes
+            else:
+                data = (directory / name).read_bytes()
+            if hashlib.sha256(data).hexdigest() != expected:
+                raise _CorruptEntry(f"checksum mismatch on {name}")
+
     def store(self, fingerprint: str, result, meta: dict | None = None):
-        """Atomically write a full entry (plan, report, C, meta)."""
+        """Atomically write a full entry (plan, report, C, meta).
+
+        The meta records a SHA-256 per payload, computed *before* the
+        bytes reach the filesystem, so any later divergence — however
+        it happened — is caught by :meth:`load`.  An ``OSError`` from
+        the filesystem (disk full) downgrades to a memory-only store.
+        """
         from repro.compiler.reports import full_report
 
+        payloads = {
+            _PLAN: pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+            _REPORT: full_report(result).encode("utf-8"),
+            _C_SOURCE: result.generate_c().encode("utf-8"),
+        }
         directory = self.object_dir(fingerprint)
-        directory.parent.mkdir(parents=True, exist_ok=True)
         full_meta = {
             "fingerprint": fingerprint,
             "pipeline_version": self.pipeline_version,
             "created": time.time(),
+            "checksums": {
+                name: hashlib.sha256(data).hexdigest()
+                for name, data in payloads.items()
+            },
             **(meta or {}),
         }
-        tmp = Path(
-            tempfile.mkdtemp(
-                prefix=f".tmp-{fingerprint[:12]}-", dir=directory.parent
-            )
-        )
         try:
-            (tmp / _PLAN).write_bytes(
-                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            directory.parent.mkdir(parents=True, exist_ok=True)
+            tmp = Path(
+                tempfile.mkdtemp(
+                    prefix=f".tmp-{fingerprint[:12]}-", dir=directory.parent
+                )
             )
-            (tmp / _REPORT).write_text(full_report(result))
-            (tmp / _C_SOURCE).write_text(result.generate_c())
-            (tmp / _META).write_text(json.dumps(full_meta, indent=2))
-            self._rename_entry(tmp, directory)
-        finally:
-            if tmp.exists():
-                shutil.rmtree(tmp, ignore_errors=True)
+        except OSError:
+            self.stats.write_errors += 1
+            tmp = None
+        if tmp is not None:
+            try:
+                try:
+                    for name, data in payloads.items():
+                        (tmp / name).write_bytes(self._faulty(data))
+                    (tmp / _META).write_bytes(
+                        self._faulty(
+                            json.dumps(full_meta, indent=2).encode("utf-8")
+                        )
+                    )
+                    self._rename_entry(tmp, directory)
+                except OSError:
+                    # Disk full (real or injected): the entry stays
+                    # memory-only; a later store retries the disk.
+                    self.stats.write_errors += 1
+            finally:
+                if tmp.exists():
+                    shutil.rmtree(tmp, ignore_errors=True)
         self.stats.stores += 1
         self._remember(
             fingerprint, _Entry(result=result, meta=full_meta)
         )
         return directory
+
+    def _faulty(self, data: bytes) -> bytes:
+        """Route payload bytes through the fault injector, if any."""
+        if self.injector is None:
+            return data
+        return self.injector.mangle(_WRITE_SITE, data)
 
     # -- side artifacts (bench records, …) -------------------------------
 
@@ -226,7 +332,7 @@ class ArtifactCache:
                 pass
             raise
 
-    # -- invalidation ----------------------------------------------------
+    # -- invalidation and quarantine -------------------------------------
 
     def invalidate(self, fingerprint: str) -> bool:
         """Drop one entry (memory + disk); True if anything was removed."""
@@ -265,6 +371,44 @@ class ArtifactCache:
             if child.is_dir() and not child.name.startswith(".tmp-")
         )
 
+    def quarantined_entries(self) -> list[str]:
+        """Quarantine directory names (``<fingerprint>-<n>``)."""
+        quarantine = self.quarantine_dir()
+        if not quarantine.is_dir():
+            return []
+        return sorted(
+            child.name for child in quarantine.iterdir() if child.is_dir()
+        )
+
+    def _quarantine(self, fingerprint: str, directory: Path) -> None:
+        """Move a corrupt entry aside so it can never be served again."""
+        with self._lock:
+            self._memory.pop(fingerprint, None)
+        quarantine = self.quarantine_dir()
+        moved = False
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            for attempt in range(1000):
+                dest = quarantine / f"{fingerprint}-{attempt}"
+                try:
+                    os.rename(directory, dest)
+                    moved = True
+                    break
+                except FileExistsError:
+                    continue
+                except OSError:
+                    break
+        except OSError:
+            pass
+        if not moved:
+            # Could not move it (cross-device, permissions): removal is
+            # the fallback that still guarantees it is never served.
+            self._remove_entry(directory)
+        self.stats.quarantined += 1
+        self.stats.repairs += 1
+        if self.on_quarantine is not None:
+            self.on_quarantine(fingerprint)
+
     # -- binary cache keys (used by repro.backend.cc) --------------------
 
     def binary_dir(self, c_source: str) -> Path:
@@ -292,7 +436,6 @@ class ArtifactCache:
                 os.rename(tmp, final)
             except OSError:
                 pass  # lost the second race too; their copy is fine
-
     @staticmethod
     def _remove_entry(directory: Path) -> None:
         shutil.rmtree(directory, ignore_errors=True)
